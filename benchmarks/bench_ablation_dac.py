@@ -1,0 +1,73 @@
+"""Ablations for DAC's design choices (DESIGN.md):
+
+* per-warp queue depth (PWAQ/PWPQ entries) — bounds the affine warp's
+  run-ahead distance;
+* L1 line locking (§4.2) — protects early-fetched lines from eviction.
+
+Run on a latency-bound memory benchmark (LIB) where both mechanisms bite.
+"""
+
+import dataclasses
+
+from repro.core import run_dac
+from repro.harness import experiment_config
+from repro.sim import simulate
+from repro.workloads import get
+
+from conftest import BENCH_SCALE, print_table
+
+
+def _dac_with(config, **dac_overrides):
+    return dataclasses.replace(
+        config, dac=dataclasses.replace(config.dac, **dac_overrides))
+
+
+def test_ablation_queue_depth(benchmark, bench_config):
+    def sweep():
+        base = simulate(get("LIB").launch(BENCH_SCALE), bench_config)
+        rows = []
+        for entries in (48, 96, 192, 384):
+            config = _dac_with(bench_config, pwaq_entries=entries,
+                               pwpq_entries=entries)
+            dac = run_dac(get("LIB").launch(BENCH_SCALE), config)
+            rows.append([f"{entries} ({entries // 48}/warp)",
+                         base.cycles / dac.cycles])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.harness import ascii_table
+    print_table("Ablation: per-warp queue depth vs DAC speedup (LIB)",
+                ascii_table(["PWAQ/PWPQ entries", "speedup"], rows))
+    # Deeper queues = more run-ahead; speedup must not decrease much.
+    speedups = [r[1] for r in rows]
+    assert speedups[-1] >= speedups[0] * 0.95
+
+
+def test_ablation_line_locking(benchmark, bench_config):
+    # Locking matters when the L1 is under pressure: shrink it so early
+    # lines face eviction before their demand access (paper §4.2).
+    pressured = dataclasses.replace(
+        bench_config,
+        l1=dataclasses.replace(bench_config.l1, size_bytes=4 * 1024))
+
+    def sweep():
+        base = simulate(get("LIB").launch(BENCH_SCALE), pressured)
+        locked = run_dac(get("LIB").launch(BENCH_SCALE), pressured)
+        unlocked = run_dac(get("LIB").launch(BENCH_SCALE),
+                           _dac_with(pressured, lock_lines=False))
+        return base, locked, unlocked
+
+    base, locked, unlocked = benchmark.pedantic(sweep, rounds=1,
+                                                iterations=1)
+    from repro.harness import ascii_table
+    print_table(
+        "Ablation: L1 line locking (LIB)",
+        ascii_table(
+            ["variant", "speedup", "deq refetches"],
+            [["locking on (paper §4.2)", base.cycles / locked.cycles,
+              locked.stats["dac.deq_refetches"]],
+             ["locking off", base.cycles / unlocked.cycles,
+              unlocked.stats["dac.deq_refetches"]]]))
+    # Without locks, early lines may be evicted before use; with locks,
+    # refetches are impossible.
+    assert locked.stats["dac.deq_refetches"] == 0

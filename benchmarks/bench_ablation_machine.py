@@ -1,0 +1,38 @@
+"""Machine-level ablations: scheduler policy and MTA aggressiveness.
+
+These back the design-choice discussion in DESIGN.md: the two-level active
+scheduler of Table 1 versus plain loose round-robin, and the sensitivity of
+the MTA baseline to its prefetch degree (its throttling target).
+"""
+
+from repro.harness import sweep
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_ablation_scheduler_policy(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: sweep("MC", "scheduler", ["two_level", "lrr"],
+                      bench_config, technique="baseline",
+                      scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    print_table("Ablation: warp scheduler policy (MC, baseline)",
+                result.table())
+    # Both policies must complete; timing within a sane band of each other.
+    speedups = [p.speedup for p in result.points]
+    assert all(0.5 < s < 2.0 for s in speedups)
+
+
+def test_ablation_mta_degree(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: sweep("ST", "mta.prefetch_degree", [0, 2, 8, 16],
+                      bench_config, technique="mta", scale=BENCH_SCALE,
+                      keep_stats=("mta.prefetches",
+                                  "mta.useless_prefetches")),
+        rounds=1, iterations=1)
+    print_table("Ablation: MTA prefetch degree (ST)", result.table())
+    points = {p.value: p for p in result.points}
+    # Degree 0 disables prefetching entirely.
+    assert points[0].stats["mta.prefetches"] == 0
+    # Some aggressiveness beats none on a streaming stencil.
+    assert max(p.speedup for p in result.points) > points[0].speedup

@@ -1,0 +1,11 @@
+"""§4.8: area overhead of DAC's added hardware (~1.06% of a GTX 480)."""
+
+from repro.energy import area_report
+
+from conftest import print_table
+
+
+def test_area_overhead(benchmark):
+    report = benchmark(area_report)
+    print_table("Section 4.8: area estimation", report.table())
+    assert 0.008 < report.overhead_fraction < 0.014

@@ -1,0 +1,16 @@
+"""Figure 6: percentage of static instructions computing on scalar data
+and thread IDs (potentially affine), per benchmark."""
+
+from repro.harness import fig6_affine_potential, fig6_report
+
+from conftest import print_table
+
+
+def test_fig6_affine_potential(benchmark):
+    data = benchmark.pedantic(fig6_affine_potential, rounds=1, iterations=1)
+    print_table("Figure 6: potentially affine static instructions",
+                fig6_report())
+    mean = data["MEAN"]
+    total = mean["arithmetic"] + mean["memory"] + mean["branch"]
+    # Paper: about half of static instructions are potentially affine.
+    assert 0.30 <= total <= 0.85

@@ -1,0 +1,17 @@
+"""Figure 16: speedup of CAE, MTA, and DAC over the baseline GPU."""
+
+from repro.harness import fig16_report, fig16_speedup
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_fig16_speedups(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: fig16_speedup(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    print_table("Figure 16: speedups over baseline", fig16_report(data))
+    # Shape assertions (paper: DAC 1.40 global, best in both classes).
+    assert data.means["all"]["dac"] > 1.05
+    assert data.means["all"]["dac"] > data.means["all"]["cae"]
+    assert data.means["all"]["dac"] > data.means["all"]["mta"]
+    assert data.means["compute"]["cae"] > data.means["memory"]["cae"]

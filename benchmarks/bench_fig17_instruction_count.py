@@ -1,0 +1,19 @@
+"""Figure 17: warp instructions executed by DAC normalized to baseline."""
+
+from repro.harness import ascii_table, fig17_instruction_counts
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_fig17_instruction_counts(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: fig17_instruction_counts(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    rows = [[abbr, v["nonaffine"], v["affine"], v["total"],
+             v["replaced_per_affine"]] for abbr, v in data.items()]
+    print_table("Figure 17: DAC warp instructions (normalized)",
+                ascii_table(["bench", "non-affine", "affine", "total",
+                             "repl/affine"], rows))
+    # Paper: 26% fewer instructions; one affine instruction replaces ~9.
+    assert data["MEAN"]["total"] < 0.95
+    assert data["MEAN"]["replaced_per_affine"] > 1.5

@@ -1,0 +1,18 @@
+"""Figure 19: % of global/local load requests issued by the affine warp."""
+
+from repro.harness import ascii_table, fig19_affine_loads
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_fig19_affine_load_fraction(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: fig19_affine_loads(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    rows = [[abbr, frac] for abbr, frac in data.items()]
+    print_table("Figure 19: affine global/local load requests",
+                ascii_table(["bench", "fraction"], rows))
+    # Paper: 79.8% mean; BFS/BT near zero (indirect accesses).
+    assert data["MEAN"] > 0.4
+    assert data["BFS"] < 0.4
+    assert data["LIB"] > 0.8

@@ -1,0 +1,15 @@
+"""Figure 20: MTA prefetcher coverage on the memory-intensive set."""
+
+from repro.harness import ascii_table, fig20_mta_coverage
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_fig20_mta_coverage(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: fig20_mta_coverage(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    rows = [[abbr, frac] for abbr, frac in data.items()]
+    print_table("Figure 20: MTA prefetcher coverage",
+                ascii_table(["bench", "coverage"], rows))
+    assert 0.0 <= data["MEAN"] <= 1.0

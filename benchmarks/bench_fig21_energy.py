@@ -1,0 +1,18 @@
+"""Figure 21: energy consumption of DAC normalized to the baseline."""
+
+from repro.harness import fig21_energy, fig21_report
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_fig21_energy(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: fig21_energy(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    print_table("Figure 21: DAC energy normalized to baseline",
+                fig21_report(data))
+    # Paper: 0.798 total; the shape requirement is energy below baseline
+    # with a small DAC overhead slice.
+    assert data["MEAN"]["total"] < 1.0
+    overheads = [v["dac_overhead"] for k, v in data.items() if k != "MEAN"]
+    assert max(overheads) < 0.12

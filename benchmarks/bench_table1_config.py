@@ -1,0 +1,15 @@
+"""Table 1: simulation parameters — construction and rendering."""
+
+from repro.sim import GPUConfig
+
+from conftest import print_table
+
+
+def test_table1_configuration(benchmark):
+    config = benchmark(GPUConfig.gtx480)
+    print_table("Table 1: Simulation Parameters", config.table1())
+    assert config.num_sms == 15
+    assert config.warps_per_sm == 48
+    assert config.l1.size_bytes == 48 * 1024
+    assert config.l2.size_bytes == 768 * 1024
+    assert config.dac.atq_entries == 24

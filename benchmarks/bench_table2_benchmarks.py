@@ -1,0 +1,22 @@
+"""Table 2: the benchmark list and the memory/compute classification
+(speedup >= 1.5 under perfect memory, paper §5.1.2)."""
+
+from repro.harness import table2_classification
+from repro.workloads import table2
+
+from conftest import BENCH_SCALE, print_table
+
+
+def test_table2_classification(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: table2_classification(BENCH_SCALE, bench_config),
+        rounds=1, iterations=1)
+    rows = [f"{abbr:4s} perfect={d['perfect_speedup']:5.2f} "
+            f"measured={d['measured']:8s} paper={d['paper']}"
+            for abbr, d in data.items()]
+    print_table("Table 2: benchmarks and classification",
+                table2() + "\n\nClassification (perfect-memory rule):\n"
+                + "\n".join(rows))
+    agree = sum(1 for d in data.values() if d["measured"] == d["paper"])
+    # At tiny scale a few benchmarks flip class; most must agree.
+    assert agree >= len(data) * 0.6

@@ -1,0 +1,28 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Benches run the experiment pipeline at the full ``paper`` scale on the
+4-SM experiment machine (the same configuration EXPERIMENTS.md records).
+All (benchmark, technique) simulation runs are memoized for the pytest
+session, so the ten figure benches share one set of runs and the whole
+suite completes in a few minutes.
+"""
+
+import pytest
+
+from repro.harness import experiment_config
+
+#: Scale and machine used by every bench in this directory.
+BENCH_SCALE = "paper"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return experiment_config()
+
+
+def print_table(title, text):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(text)

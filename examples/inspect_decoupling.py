@@ -1,0 +1,89 @@
+"""Compiler tour: watch the decoupling pass work (paper §4.6-§4.7).
+
+Shows the affine type classification, the divergent-affine analysis, and
+the generated streams for three kernels of increasing difficulty:
+
+1. a simple streaming kernel (everything decouples);
+2. a boundary-clamped kernel whose address needs a *divergent affine
+   tuple* (two guarded tuples selected per thread at expansion);
+3. an indirect-access kernel where decoupling is mostly refused.
+
+Run:  python examples/inspect_decoupling.py
+"""
+
+from repro.affine import OperandClass
+from repro.compiler.affine_analysis import AffineAnalysis
+from repro.compiler.decouple import decouple
+from repro.isa import parse_kernel
+
+SIMPLE = parse_kernel("""
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+    mul r1, tid, 4;
+    add src, param.A, r1;
+    ld.global v, [src];
+    mul w, v, 2;
+    add dst, param.B, r1;
+    st.global [dst], w;
+""", name="simple", params=("A", "B"))
+
+DIVERGENT = parse_kernel("""
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+    setp.lt p1, tid, param.border;
+    mul off, tid, 4;
+    @p1 mov off, 0;
+    add src, param.A, off;
+    ld.global v, [src];
+    mul r2, tid, 4;
+    add dst, param.B, r2;
+    st.global [dst], v;
+""", name="divergent", params=("A", "B", "border"))
+
+INDIRECT = parse_kernel("""
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+    mul r1, tid, 4;
+    add iaddr, param.idx, r1;
+    ld.global j, [iaddr];
+    mul r2, j, 4;
+    add gaddr, param.A, r2;
+    ld.global v, [gaddr];
+    st.global [gaddr], v;
+""", name="indirect", params=("idx", "A"))
+
+CLASS_NAMES = {OperandClass.SCALAR: "scalar",
+               OperandClass.AFFINE: "affine",
+               OperandClass.NONAFFINE: "non-affine"}
+
+
+def show(kernel):
+    print("#" * 70)
+    print(f"kernel {kernel.name!r}")
+    print("#" * 70)
+    analysis = AffineAnalysis(kernel)
+    print("classification (paper §4.7, scalar < affine < non-affine):")
+    for idx, inst in enumerate(kernel.instructions):
+        cls = analysis.def_class.get(idx)
+        label = CLASS_NAMES[cls] if cls is not None else ""
+        print(f"  {idx:2d}  {str(inst):42s} {label}")
+    program = decouple(kernel)
+    print(f"\n{program.summary()}\n")
+    if program.is_decoupled:
+        print("--- affine stream ---")
+        print(program.affine.source())
+        print("--- non-affine stream ---")
+        print(program.nonaffine.source())
+
+
+def main():
+    for kernel in (SIMPLE, DIVERGENT, INDIRECT):
+        show(kernel)
+    print("Note how 'divergent' keeps the guarded `mov off, 0` in the "
+          "affine stream:\nat run time the register holds two guarded "
+          "tuples (a DivergentSet), and the\nAEU selects per thread using "
+          "the DCRF bit vector (paper §4.6, Fig. 14-15).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Quickstart: decouple and simulate the paper's running example.
+
+Builds the kernel from Fig. 4b of the paper, shows the affine / non-affine
+streams the compiler produces (Fig. 7), and compares baseline and DAC
+executions on a small GPU.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compiler.decouple import decouple
+from repro.core import run_dac
+from repro.isa import parse_kernel
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, simulate
+
+# The CUDA kernel from paper Fig. 4a, in the mini ISA (Fig. 4b):
+#
+#   for (i = 0; i < dim; i++) { tmp = A[i*num + tid]; B[i*num+tid] = tmp+1; }
+#
+KERNEL = parse_kernel("""
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+    mul r1, tid, 4;
+    add addrA, param.A, r1;
+    add addrB, param.B, r1;
+    mov i, 0;
+LOOP:
+    ld.global tmp, [addrA];
+    add r2, tmp, 1;
+    st.global [addrB], r2;
+    add i, i, 1;
+    mul r3, param.num, 4;
+    add addrA, r3, addrA;
+    add addrB, r3, addrB;
+    setp.ne p0, param.dim, i;
+    @p0 bra LOOP;
+""", name="example", params=("A", "B", "dim", "num"))
+
+
+def build_launch():
+    mem = GlobalMemory(1 << 22)
+    num, dim = 512, 16                   # 512 threads, 16 loop iterations
+    a = mem.alloc_array(np.arange(num * dim, dtype=float))
+    b = mem.alloc(num * dim)
+    launch = KernelLaunch(KERNEL, grid_dim=(4, 1, 1), block_dim=(128, 1, 1),
+                          params=dict(A=a, B=b, dim=dim, num=num),
+                          memory=mem)
+    return launch, b, num * dim
+
+
+def main():
+    print("=" * 70)
+    print("The compiler splits the kernel into two streams (paper Fig. 7):")
+    print("=" * 70)
+    program = decouple(KERNEL)
+    print(program.summary())
+    print("\n--- affine stream (runs once, on the affine warp) ---")
+    print(program.affine.source())
+    print("--- non-affine stream (runs on every warp) ---")
+    print(program.nonaffine.source())
+
+    config = GPUConfig.gtx480().scaled(2)
+
+    launch, out, n = build_launch()
+    base = simulate(launch, config)
+    expected = np.arange(n) + 1
+    assert np.array_equal(launch.memory.read_array(out, n), expected)
+
+    launch, out, n = build_launch()
+    dac = run_dac(launch, config)
+    assert np.array_equal(launch.memory.read_array(out, n), expected)
+
+    print("=" * 70)
+    print(f"baseline : {base.cycles:7d} cycles, "
+          f"{base.stats['warp_instructions']:7.0f} warp instructions")
+    print(f"DAC      : {dac.cycles:7d} cycles, "
+          f"{dac.stats['warp_instructions']:7.0f} non-affine + "
+          f"{dac.stats['affine_warp_instructions']:5.0f} affine instructions")
+    print(f"speedup  : {base.cycles / dac.cycles:.2f}x    "
+          f"instruction reduction: "
+          f"{1 - dac.stats['warp_instructions'] / base.stats['warp_instructions']:.0%}")
+    print(f"loads prefetched by the affine warp: "
+          f"{dac.stats['dac.affine_load_lines']:.0f} lines "
+          f"({dac.stats['dac.affine_loads']:.0f} warp-records)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+This is the script behind EXPERIMENTS.md: it runs all 29 benchmarks under
+all four techniques at 'paper' scale on the 4-SM experiment machine and
+prints each figure in order.  Expect a few minutes of runtime.
+
+Run:  python examples/run_experiments.py [--out FILE]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.energy import area_report
+from repro.harness import (
+    ascii_table,
+    experiment_config,
+    fig6_report,
+    fig16_report,
+    fig16_speedup,
+    fig17_instruction_counts,
+    fig18_coverage,
+    fig19_affine_loads,
+    fig20_mta_coverage,
+    fig21_energy,
+    fig21_report,
+    table2_classification,
+)
+from repro.workloads import table2
+
+
+def banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", help="also write the report to this file")
+    parser.add_argument("--sms", type=int, default=4,
+                        help="number of SMs to simulate (default 4)")
+    args = parser.parse_args(argv)
+
+    if args.out:
+        stream = open(args.out, "w")
+        stdout = sys.stdout
+
+        class Tee:
+            def write(self, text):
+                stdout.write(text)
+                stream.write(text)
+
+            def flush(self):
+                stdout.flush()
+                stream.flush()
+
+        sys.stdout = Tee()
+
+    config = experiment_config(args.sms)
+    t0 = time.time()
+
+    banner("Table 1: simulation parameters")
+    print(config.table1())
+    print(f"\n(experiments run the per-SM machine above on {args.sms} SMs "
+          "with L2 capacity scaled; see DESIGN.md)")
+
+    banner("Table 2: benchmarks")
+    print(table2())
+    print("\nClassification by the perfect-memory rule (>= 1.5x):")
+    classification = table2_classification(config=config)
+    rows = [[abbr, d["perfect_speedup"], d["measured"], d["paper"]]
+            for abbr, d in classification.items()]
+    print(ascii_table(["bench", "perfect-mem speedup", "measured", "paper"],
+                      rows))
+
+    banner("Figure 6: potentially affine static instructions")
+    print(fig6_report())
+
+    banner("Figure 16: speedup of CAE, MTA, DAC over baseline")
+    speedups = fig16_speedup(config=config)
+    print(fig16_report(speedups))
+
+    banner("Figure 17: DAC warp instructions normalized to baseline")
+    counts = fig17_instruction_counts(config=config)
+    rows = [[abbr, v["nonaffine"], v["affine"], v["total"],
+             v["replaced_per_affine"]] for abbr, v in counts.items()]
+    print(ascii_table(["bench", "non-affine", "affine", "total",
+                       "replaced/affine"], rows))
+
+    banner("Figure 18: affine instruction coverage (compute set)")
+    coverage = fig18_coverage(config=config)
+    print(ascii_table(["bench", "CAE", "DAC"],
+                      [[abbr, v["cae"], v["dac"]]
+                       for abbr, v in coverage.items()]))
+
+    banner("Figure 19: affine global/local load requests (memory set)")
+    loads = fig19_affine_loads(config=config)
+    print(ascii_table(["bench", "fraction"],
+                      [[a, f] for a, f in loads.items()]))
+
+    banner("Figure 20: MTA prefetcher coverage (memory set)")
+    mta = fig20_mta_coverage(config=config)
+    print(ascii_table(["bench", "coverage"],
+                      [[a, f] for a, f in mta.items()]))
+
+    banner("Figure 21: DAC energy normalized to baseline")
+    print(fig21_report(fig21_energy(config=config)))
+
+    banner("Section 4.8: area overhead")
+    print(area_report().table())
+
+    banner("Headline comparison with the paper")
+    m = speedups.means
+    print(ascii_table(
+        ["metric", "paper", "measured"],
+        [["DAC speedup, all 29", 1.407, m["all"]["dac"]],
+         ["DAC speedup, compute", 1.34, m["compute"]["dac"]],
+         ["DAC speedup, memory", 1.44, m["memory"]["dac"]],
+         ["CAE speedup, compute", 1.11, m["compute"]["cae"]],
+         ["MTA speedup, memory", 1.16, m["memory"]["mta"]],
+         ["warp instructions vs baseline", 0.74, counts["MEAN"]["total"]],
+         ["affine load fraction", 0.798, loads["MEAN"]],
+         ["energy vs baseline", 0.798,
+          fig21_energy(config=config)["MEAN"]["total"]],
+         ["area overhead", 0.0106, area_report().overhead_fraction]]))
+    print(f"\ntotal experiment time: {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

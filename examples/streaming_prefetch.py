@@ -1,0 +1,68 @@
+"""Memory-bound scenario: DAC as a non-speculative prefetcher.
+
+Runs the LIB benchmark (streaming strided loads, the kind of workload the
+paper's §5.5 analyzes) under the baseline, the MTA speculative prefetcher,
+and DAC, and breaks down *why* DAC wins: the affine warp issues the loads
+early (lead time), non-speculatively, and locks the lines until use.
+
+Run:  python examples/streaming_prefetch.py
+"""
+
+from repro.core import run_dac
+from repro.harness import experiment_config
+from repro.sim import simulate
+from repro.workloads import get
+
+
+def main():
+    config = experiment_config()
+    benchmark = get("LIB")
+
+    base = simulate(benchmark.launch("paper"), config)
+    mta = simulate(benchmark.launch("paper"),
+                   config.with_technique("mta"))
+    dac = run_dac(benchmark.launch("paper"), config)
+
+    print("=" * 70)
+    print(f"LIB ({benchmark.name}): {benchmark.description}")
+    print("=" * 70)
+    print(f"{'':12s}{'cycles':>10s}{'speedup':>9s}"
+          f"{'DRAM reads':>12s}{'notes'}")
+    rows = [
+        ("baseline", base, ""),
+        ("MTA", mta,
+         f"  {mta.stats['mta.prefetches']:.0f} speculative prefetches, "
+         f"{mta.stats['mta.useless_prefetches']:.0f} useless"),
+        ("DAC", dac,
+         f"  {dac.stats['dac.affine_load_lines']:.0f} early requests, "
+         f"all non-speculative"),
+    ]
+    for name, result, note in rows:
+        print(f"{name:12s}{result.cycles:10d}"
+              f"{base.cycles / result.cycles:9.2f}"
+              f"{result.stats['dram.reads']:12.0f}{note}")
+
+    print()
+    deqs = max(1, dac.stats["dac.deq_loads"])
+    print("Why DAC hides latency (paper §4, §5.5):")
+    print(f"  * the affine warp ran "
+          f"{dac.stats['affine_warp_instructions']:.0f} instructions "
+          f"({dac.stats['affine_warp_instructions'] / dac.stats['warp_instructions']:.1%} "
+          f"of the non-affine count) and produced every address early;")
+    print(f"  * average lead time between data arriving in the L1 and the "
+          f"consuming dequeue: {dac.stats['dac.lead_cycles'] / deqs:.0f} "
+          f"cycles (request-to-use "
+          f"{dac.stats['dac.issue_to_deq'] / deqs:.0f});")
+    print(f"  * {dac.stats['dac.affine_load_lines']:.0f} lines were "
+          f"line-locked in the L1 until their dequeue "
+          f"({dac.stats['dac.lock_denied']:.0f} lock denials, "
+          f"{dac.stats['dac.deq_refetches']:.0f} refetches after early "
+          f"eviction);")
+    frac = dac.stats["dac.affine_load_lines"] / max(
+        1, dac.stats["dac.affine_load_lines"] + dac.stats["gmem_load_lines"])
+    print(f"  * {frac:.0%} of global/local load requests were issued by "
+          f"the affine warp (Fig. 19).")
+
+
+if __name__ == "__main__":
+    main()

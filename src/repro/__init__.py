@@ -1,0 +1,15 @@
+"""repro: reproduction of "Decoupled Affine Computation for SIMT GPUs"
+(Wang & Lin, ISCA 2017).
+
+Public API highlights:
+
+* :class:`repro.sim.GPUConfig` — the Table 1 machine configuration;
+* :func:`repro.sim.simulate` — run a kernel launch on the baseline, CAE,
+  or MTA machine;
+* :func:`repro.core.run_dac` — decouple a kernel and run it under DAC;
+* :func:`repro.compiler.decouple.decouple` — just the compiler pass;
+* :mod:`repro.workloads` — the 29 Table 2 benchmarks;
+* :mod:`repro.harness` — per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,112 @@
+"""The scalar / affine / non-affine type lattice used by the compiler.
+
+Paper §4.7: "Each operand is classified as one of three possible types:
+scalar (e.g. kernel parameters), affine (e.g. threadIdx), or non-affine
+(e.g. memory), which are listed in order from most specific to most
+general."
+
+Because the affine warp executes once per CTA (see DESIGN.md), anything
+uniform *within a block* — ``blockIdx``, ``blockDim``, ``gridDim``, kernel
+parameters, immediates — is ``SCALAR``; ``threadIdx`` is ``AFFINE``; values
+read from memory or produced by unsupported operations are ``NONAFFINE``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa import (
+    AFFINE_CAPABLE_OPS,
+    CmpOp,
+    DeqToken,
+    Immediate,
+    MemRef,
+    Opcode,
+    Operand,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+)
+
+
+class OperandClass(enum.IntEnum):
+    """Lattice ordering: SCALAR < AFFINE < NONAFFINE (join = max)."""
+
+    SCALAR = 0
+    AFFINE = 1
+    NONAFFINE = 2
+
+
+def join(*classes: OperandClass) -> OperandClass:
+    """Least upper bound — 'the most general type' (§4.7)."""
+    return max(classes, default=OperandClass.SCALAR)
+
+
+def leaf_class(op: Operand) -> OperandClass | None:
+    """Initial class of a non-register operand; ``None`` for registers
+    (whose class comes from reaching definitions)."""
+    if isinstance(op, (Immediate, Param)):
+        return OperandClass.SCALAR
+    if isinstance(op, SpecialReg):
+        if op.family == "tid":
+            return OperandClass.AFFINE
+        return OperandClass.SCALAR        # ctaid / ntid / nctaid: per-CTA
+    if isinstance(op, (MemRef, DeqToken)):
+        return OperandClass.NONAFFINE
+    if isinstance(op, (Register, PredReg)):
+        return None
+    raise TypeError(f"unknown operand: {op!r}")
+
+
+#: Ops where affine × affine is illegal (Eq. 3: one side must be scalar).
+_NEEDS_SCALAR_SIDE = {Opcode.MUL}
+
+#: Ops that only stay affine when *every* source is scalar.
+_SCALAR_ONLY = {Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHR}
+
+
+def result_class(opcode: Opcode, src_classes: list[OperandClass],
+                 cmp: CmpOp | None = None) -> OperandClass:
+    """Transfer function: class of an instruction's destination given the
+    classes of its sources.  Mirrors the runtime rules in
+    :mod:`repro.affine.ops` so that anything the compiler classifies as
+    affine is guaranteed to evaluate in tuple form at run time."""
+    if opcode is Opcode.LD:
+        return OperandClass.NONAFFINE
+    if opcode not in AFFINE_CAPABLE_OPS:
+        return OperandClass.NONAFFINE
+    top = join(*src_classes)
+    if top is OperandClass.NONAFFINE:
+        return OperandClass.NONAFFINE
+    if opcode in _SCALAR_ONLY:
+        return (OperandClass.SCALAR if top is OperandClass.SCALAR
+                else OperandClass.NONAFFINE)
+    if opcode is Opcode.MUL:
+        affine_sides = sum(1 for c in src_classes
+                           if c is OperandClass.AFFINE)
+        return (OperandClass.NONAFFINE if affine_sides > 1 else top)
+    if opcode is Opcode.MAD:
+        # d = a*b + c: the product needs a scalar side.
+        a, b, c = src_classes
+        if a is OperandClass.AFFINE and b is OperandClass.AFFINE:
+            return OperandClass.NONAFFINE
+        return join(a, b, c)
+    if opcode is Opcode.REM:
+        lhs, divisor = src_classes
+        if divisor is not OperandClass.SCALAR:
+            return OperandClass.NONAFFINE
+        return lhs
+    if opcode in (Opcode.SHL,):
+        lhs, amount = src_classes
+        if amount is not OperandClass.SCALAR:
+            return OperandClass.NONAFFINE
+        return lhs
+    if opcode is Opcode.SELP:
+        a, b, pred = src_classes
+        if pred is not OperandClass.SCALAR:
+            return OperandClass.NONAFFINE
+        return join(a, b)
+    if opcode is Opcode.SETP:
+        return top
+    return top

@@ -1,0 +1,97 @@
+"""Affine predicates: comparisons between affine expressions.
+
+A decoupled ``setp`` produces an :class:`AffinePredicate` in the affine
+stream.  If both sides are scalar the predicate is a single bool for the
+whole CTA (64 % of decoupled predicate computations in the paper, §4.3);
+otherwise the PEU expands it per warp with the endpoint trick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa import CmpOp
+from .tuples import AffineError, AffineExpr, DivergentSet
+
+_CMP_FUNCS = {
+    CmpOp.EQ: np.equal,
+    CmpOp.NE: np.not_equal,
+    CmpOp.LT: np.less,
+    CmpOp.LE: np.less_equal,
+    CmpOp.GT: np.greater,
+    CmpOp.GE: np.greater_equal,
+}
+
+_NEGATED = {
+    CmpOp.EQ: CmpOp.NE, CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE, CmpOp.GE: CmpOp.LT,
+    CmpOp.LE: CmpOp.GT, CmpOp.GT: CmpOp.LE,
+}
+
+
+@dataclass(frozen=True)
+class AffinePredicate:
+    """``lhs <cmp> rhs`` over affine expressions."""
+
+    cmp: CmpOp
+    lhs: AffineExpr
+    rhs: AffineExpr
+
+    def __post_init__(self) -> None:
+        if isinstance(self.lhs, DivergentSet) or \
+                isinstance(self.rhs, DivergentSet):
+            raise AffineError("predicates over divergent sets not supported")
+
+    @property
+    def is_scalar(self) -> bool:
+        """True when one comparison decides every thread of the CTA."""
+        return self.lhs.is_scalar and self.rhs.is_scalar
+
+    @property
+    def scalar_value(self) -> bool:
+        if not self.is_scalar:
+            raise AffineError("predicate is not scalar")
+        return bool(_CMP_FUNCS[self.cmp](self.lhs.scalar_value,
+                                         self.rhs.scalar_value))
+
+    def negated(self) -> "AffinePredicate":
+        return AffinePredicate(_NEGATED[self.cmp], self.lhs, self.rhs)
+
+    def evaluate(self, tx: np.ndarray, ty: np.ndarray,
+                 tz: np.ndarray) -> np.ndarray:
+        """Concrete per-thread bit vector."""
+        return _CMP_FUNCS[self.cmp](self.lhs.evaluate(tx, ty, tz),
+                                    self.rhs.evaluate(tx, ty, tz))
+
+    def endpoint_applicable(self) -> bool:
+        """Whether the §4.3 endpoint trick is valid: both sides must be
+        plain linear tuples (mod-type tuples wrap within a warp, and clamp
+        expressions are not monotonic), and the comparison must be an
+        ordering test — equality can flip in the middle of a warp."""
+        from .tuples import AffineTuple
+        if self.cmp in (CmpOp.EQ, CmpOp.NE):
+            return (isinstance(self.lhs, AffineTuple) and self.lhs.is_scalar
+                    and isinstance(self.rhs, AffineTuple)
+                    and self.rhs.is_scalar)
+        return (isinstance(self.lhs, AffineTuple) and not self.lhs.is_mod
+                and isinstance(self.rhs, AffineTuple) and not self.rhs.is_mod)
+
+    def endpoint_uniform(self, first: tuple[float, float, float],
+                         last: tuple[float, float, float]) -> bool | None:
+        """The PEU endpoint trick (§4.3): if the first and the last thread of
+        a warp agree, every thread in between agrees too (the affine operand
+        changes monotonically across the warp).  Returns the shared bool, or
+        ``None`` when the endpoints disagree (mixed warp) or the trick does
+        not apply to these operands."""
+        if not self.endpoint_applicable():
+            return None
+        lo = bool(_CMP_FUNCS[self.cmp](self.lhs.value_at(*first),
+                                       self.rhs.value_at(*first)))
+        hi = bool(_CMP_FUNCS[self.cmp](self.lhs.value_at(*last),
+                                       self.rhs.value_at(*last)))
+        return lo if lo == hi else None
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.cmp.value} {self.rhs})"

@@ -1,0 +1,6 @@
+"""Comparison baselines: CAE (affine units) and MTA (GPU prefetcher)."""
+
+from .cae import CAESM
+from .mta import MTASM, PrefetchBuffer
+
+__all__ = ["CAESM", "MTASM", "PrefetchBuffer"]

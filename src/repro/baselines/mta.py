@@ -1,0 +1,166 @@
+"""Many-Thread-Aware prefetching baseline (Lee et al. [15], paper §5.1.1).
+
+MTA observes the strides between the cache lines demanded by successive
+executions of each load PC (inter-warp / intra-warp regularity), and on a
+confident stride issues speculative prefetches for the next lines.  Per the
+paper's generous provisioning, prefetched data lands in a dedicated 16 KB
+per-SM prefetch buffer rather than the L1 (avoiding pollution), and a
+throttling mechanism watches prefetch accuracy: lines evicted unused push
+the aggressiveness down.
+
+Unlike DAC's early requests, prefetches are speculative: they can be wrong,
+late, or evicted before use — which is why MTA trails DAC on the paper's
+memory-bound suite (Fig. 16a vs Fig. 20).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from ..isa import Instruction
+from ..memory.coalescer import LINE_SIZE
+from ..sim.sm import SM
+from ..sim.warp import WarpContext
+
+
+@dataclass
+class _StrideEntry:
+    last_line: int = -1
+    delta: int = 0
+    confidence: int = 0
+
+
+class PrefetchBuffer:
+    """FIFO prefetch buffer; tracks per-line readiness and usefulness."""
+
+    def __init__(self, capacity_lines: int):
+        self.capacity = capacity_lines
+        self._lines: OrderedDict[int, dict] = OrderedDict()
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def state(self, line: int) -> dict | None:
+        return self._lines.get(line)
+
+    def insert_pending(self, line: int) -> list[dict]:
+        """Reserve a slot for an in-flight prefetch; returns the entries
+        evicted to make room (with their 'used' flags and any still-waiting
+        demand callbacks intact)."""
+        evicted = []
+        while len(self._lines) >= self.capacity:
+            addr, victim = self._lines.popitem(last=False)
+            victim["line"] = addr
+            evicted.append(victim)
+        self._lines[line] = {"ready": False, "used": False, "waiters": []}
+        return evicted
+
+    def fill(self, line: int) -> list:
+        state = self._lines.get(line)
+        if state is None:
+            return []                         # evicted while in flight
+        state["ready"] = True
+        waiters, state["waiters"] = state["waiters"], []
+        return waiters
+
+    def mark_used(self, line: int) -> None:
+        state = self._lines.get(line)
+        if state is not None:
+            state["used"] = True
+
+
+class MTASM(SM):
+    """SM with the MTA prefetcher attached to its global-load path."""
+
+    def __init__(self, gpu, index: int):
+        super().__init__(gpu, index)
+        mta = self.config.mta
+        self.table: OrderedDict[int, _StrideEntry] = OrderedDict()
+        self.buffer = PrefetchBuffer(mta.buffer_bytes // LINE_SIZE)
+        self.degree = mta.prefetch_degree
+        self._window: deque[int] = deque()    # recent evictions: 1=used
+
+    # ---- the load-path hook ------------------------------------------------
+
+    def issue_line_read(self, warp: WarpContext, inst: Instruction,
+                        line: int, now: int, callback) -> None:
+        self._train_and_prefetch(inst, line, now)
+        state = self.buffer.state(line)
+        if state is not None:
+            self.buffer.mark_used(line)
+            self.stats.add("mta.buffer_hits")
+            if state["ready"]:
+                self.events.schedule(now + self.config.l1.hit_latency,
+                                     callback)
+            else:
+                state["waiters"].append(callback)   # merge with in-flight
+            return
+        if not self.l1.contains(line) and not self.l1.in_flight(line):
+            self.stats.add("mta.uncovered_misses")
+        self.l1.read(line, now, callback)
+
+    # ---- training + issue ----------------------------------------------
+
+    def _train_and_prefetch(self, inst: Instruction, line: int,
+                            now: int) -> None:
+        entry = self.table.get(inst.uid)
+        if entry is None:
+            if len(self.table) >= self.config.mta.table_entries:
+                self.table.popitem(last=False)
+            entry = _StrideEntry()
+            self.table[inst.uid] = entry
+        if entry.last_line >= 0:
+            delta = line - entry.last_line
+            if delta != 0 and delta == entry.delta:
+                entry.confidence = min(entry.confidence + 1, 4)
+            else:
+                entry.delta = delta
+                entry.confidence = 0
+        entry.last_line = line
+        if entry.confidence < 1 or self.degree == 0:
+            return
+        for k in range(1, self.degree + 1):
+            target = line + entry.delta * k
+            if target < 0 or target in self.buffer \
+                    or self.l1.contains(target):
+                continue
+            self._issue_prefetch(target, now)
+
+    def _issue_prefetch(self, line: int, now: int) -> None:
+        self.stats.add("mta.prefetches")
+        for victim in self.buffer.insert_pending(line):
+            self._record_eviction(victim, now)
+        # Prefetches bypass the L1 (dedicated buffer) but consume L2/DRAM
+        # bandwidth like any other request.
+        self.l1.next_level.read(
+            line, now, lambda t, l=line: self._on_prefetch_fill(l, t))
+
+    def _on_prefetch_fill(self, line: int, now: int) -> None:
+        for waiter in self.buffer.fill(line):
+            self.stats.add("mta.late_prefetch_hits")
+            waiter(now)
+
+    # ---- throttling ------------------------------------------------------
+
+    def _record_eviction(self, victim: dict, now: int) -> None:
+        # An in-flight victim may still have demand loads waiting on it:
+        # re-route them to the regular L1 path so they are never dropped.
+        for waiter in victim.get("waiters", ()):
+            self.stats.add("mta.orphaned_waiters")
+            self.l1.read(victim["line"], now, waiter)
+        self._window.append(1 if victim["used"] else 0)
+        self.stats.add("mta.evictions")
+        if not victim["used"]:
+            self.stats.add("mta.useless_prefetches")
+        window = self.config.mta.throttle_window
+        if len(self._window) < window:
+            return
+        accuracy = sum(self._window) / len(self._window)
+        self._window.clear()
+        if accuracy < self.config.mta.throttle_low_accuracy:
+            self.degree = max(1, self.degree // 2)
+            self.stats.add("mta.throttle_down")
+        elif self.degree < self.config.mta.prefetch_degree:
+            self.degree += 1
+            self.stats.add("mta.throttle_up")

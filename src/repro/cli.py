@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the Table 2 benchmark registry;
+* ``run ABBR`` — simulate one benchmark under one technique;
+* ``compare ABBR`` — all four techniques side by side;
+* ``decouple ABBR | --file F`` — show a kernel's affine / non-affine
+  streams and the verifier's verdict;
+* ``table1`` — the simulated machine configuration;
+* ``area`` — DAC's §4.8 area overhead;
+* ``figures [NAME]`` — regenerate evaluation figures (fig6, fig16, fig17,
+  fig18, fig19, fig20, fig21, or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import decouple, verify
+from .core import run_dac
+from .energy import area_report, energy_of
+from .harness import (
+    ascii_table,
+    profile,
+    experiment_config,
+    fig6_report,
+    fig16_report,
+    fig16_speedup,
+    fig17_instruction_counts,
+    fig18_coverage,
+    fig19_affine_loads,
+    fig20_mta_coverage,
+    fig21_energy,
+    fig21_report,
+)
+from .isa import parse_kernel
+from .sim import simulate
+from .workloads import ALL_BENCHMARKS, get, table2
+
+
+def _cmd_list(args) -> int:
+    print(table2())
+    print()
+    rows = [[b.abbr, b.category, b.description] for b in ALL_BENCHMARKS]
+    print(ascii_table(["bench", "class", "structure"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = experiment_config(args.sms)
+    launch = get(args.benchmark).launch(args.scale)
+    if args.technique == "dac":
+        result = run_dac(launch, config)
+    else:
+        result = simulate(launch, config.with_technique(args.technique))
+    energy = energy_of(result)
+    print(f"{args.benchmark} under {args.technique} "
+          f"({args.scale} scale, {args.sms} SMs):")
+    print(f"  cycles             {result.cycles:,}")
+    print(f"  warp instructions  {result.stats['warp_instructions']:,.0f}")
+    if result.stats["affine_warp_instructions"]:
+        print(f"  affine warp insts  "
+              f"{result.stats['affine_warp_instructions']:,.0f}")
+    print(f"  IPC (thread)       {result.ipc:.2f}")
+    print(f"  energy             {energy.total * 1e6:.1f} uJ "
+          f"(dynamic {energy.dynamic * 1e6:.1f})")
+    if args.profile:
+        print()
+        print(profile(result).report())
+    if args.stats:
+        print()
+        print(result.stats.report(args.stats if args.stats != "all" else ""))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = experiment_config(args.sms)
+    rows = []
+    base_cycles = None
+    for technique in ("baseline", "cae", "mta", "dac"):
+        launch = get(args.benchmark).launch(args.scale)
+        if technique == "dac":
+            result = run_dac(launch, config)
+        else:
+            result = simulate(launch, config.with_technique(technique))
+        if base_cycles is None:
+            base_cycles = result.cycles
+        rows.append([technique, result.cycles,
+                     base_cycles / result.cycles,
+                     result.stats["warp_instructions"]
+                     + result.stats["affine_warp_instructions"],
+                     energy_of(result).total * 1e6])
+    print(ascii_table(["technique", "cycles", "speedup", "instructions",
+                       "energy (uJ)"], rows,
+                      f"{args.benchmark} at {args.scale} scale"))
+    return 0
+
+
+def _cmd_decouple(args) -> int:
+    if args.file:
+        with open(args.file) as handle:
+            kernel = parse_kernel(handle.read())
+    else:
+        kernel = get(args.benchmark).launch("tiny").kernel
+    program = decouple(kernel)
+    print(program.summary())
+    report = verify(program)
+    print(report)
+    if program.is_decoupled and not args.quiet:
+        print("\n--- affine stream ---")
+        print(program.affine.source())
+        print("--- non-affine stream ---")
+        print(program.nonaffine.source())
+    return 0 if report.ok else 1
+
+
+def _cmd_table1(args) -> int:
+    print(experiment_config(args.sms).table1())
+    return 0
+
+
+def _cmd_area(args) -> int:
+    print(area_report().table())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    config = experiment_config(args.sms)
+    name = args.figure
+
+    def fig17():
+        data = fig17_instruction_counts(args.scale, config)
+        rows = [[a, v["nonaffine"], v["affine"], v["total"]]
+                for a, v in data.items()]
+        return ascii_table(["bench", "non-affine", "affine", "total"], rows,
+                           "Figure 17")
+
+    def two_col(title, data):
+        return ascii_table(["bench", "value"],
+                           [[a, v] for a, v in data.items()], title)
+
+    figures = {
+        "fig6": lambda: fig6_report(),
+        "fig16": lambda: fig16_report(fig16_speedup(args.scale, config)),
+        "fig17": fig17,
+        "fig18": lambda: ascii_table(
+            ["bench", "CAE", "DAC"],
+            [[a, v["cae"], v["dac"]]
+             for a, v in fig18_coverage(args.scale, config).items()],
+            "Figure 18"),
+        "fig19": lambda: two_col("Figure 19",
+                                 fig19_affine_loads(args.scale, config)),
+        "fig20": lambda: two_col("Figure 20",
+                                 fig20_mta_coverage(args.scale, config)),
+        "fig21": lambda: fig21_report(fig21_energy(args.scale, config)),
+    }
+    names = list(figures) if name == "all" else [name]
+    for key in names:
+        if key not in figures:
+            print(f"unknown figure {key!r}; choose from "
+                  f"{', '.join(figures)} or 'all'", file=sys.stderr)
+            return 2
+        print(figures[key]())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Decoupled Affine Computation (ISCA 2017) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 29 benchmarks") \
+        .set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark")
+    run.add_argument("--technique", default="dac",
+                     choices=("baseline", "cae", "mta", "dac"))
+    run.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
+    run.add_argument("--sms", type=int, default=4)
+    run.add_argument("--stats", nargs="?", const="all",
+                     help="dump raw counters (optionally a prefix)")
+    run.add_argument("--profile", action="store_true",
+                     help="print derived metrics (hit rates, utilization)")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="baseline vs CAE vs MTA vs DAC")
+    compare.add_argument("benchmark")
+    compare.add_argument("--scale", default="tiny",
+                         choices=("tiny", "paper"))
+    compare.add_argument("--sms", type=int, default=4)
+    compare.set_defaults(func=_cmd_compare)
+
+    dec = sub.add_parser("decouple", help="show a kernel's streams")
+    dec.add_argument("benchmark", nargs="?")
+    dec.add_argument("--file", help="assembly file instead of a benchmark")
+    dec.add_argument("--quiet", action="store_true",
+                     help="summary and verification only")
+    dec.set_defaults(func=_cmd_decouple)
+
+    t1 = sub.add_parser("table1", help="print the machine configuration")
+    t1.add_argument("--sms", type=int, default=4)
+    t1.set_defaults(func=_cmd_table1)
+
+    sub.add_parser("area", help="DAC area overhead (§4.8)") \
+        .set_defaults(func=_cmd_area)
+
+    figs = sub.add_parser("figures", help="regenerate evaluation figures")
+    figs.add_argument("figure", nargs="?", default="all")
+    figs.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
+    figs.add_argument("--sms", type=int, default=4)
+    figs.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "decouple" and not args.benchmark and not args.file:
+        parser.error("decouple needs a benchmark name or --file")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

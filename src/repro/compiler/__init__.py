@@ -1,0 +1,12 @@
+"""Decoupling compiler: CFG, dataflow, affine analysis, stream splitting."""
+
+from .affine_analysis import AffineAnalysis
+from .cfg import CFG, BasicBlock
+from .dataflow import ReachingDefs
+from .decouple import DecoupledProgram, Decoupler, decouple
+from .verifier import VerificationReport, verify
+
+__all__ = [
+    "AffineAnalysis", "BasicBlock", "CFG", "DecoupledProgram", "Decoupler",
+    "ReachingDefs", "VerificationReport", "decouple", "verify",
+]

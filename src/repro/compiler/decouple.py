@@ -1,0 +1,386 @@
+"""The decoupling transform: one kernel -> affine + non-affine streams.
+
+Implements paper §4.7: identify affine memory/predicate instructions, check
+divergence constraints (≤ 2 divergent affine conditions, no data-dependent
+control, no loop-carried divergent tuples), then split:
+
+* eligible loads become ``enq.data`` (affine) / ``ld dst, deq.data``
+  (non-affine);
+* eligible stores become ``enq.addr`` / ``st [deq.addr], value``;
+* eligible predicate computations stay in the affine stream (the affine
+  warp needs them for control flow), gain an ``enq.pred``, and are replaced
+  by ``mov p, deq.pred`` in the non-affine stream;
+* control flow with scalar/affine predicates is replicated into both
+  streams; barriers are replicated; everything else stays non-affine.
+
+Dead predecessor instructions are removed from the non-affine stream when no
+remaining non-affine instruction depends on them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..affine import OperandClass
+from ..isa import (
+    DeqToken,
+    Instruction,
+    Kernel,
+    MemRef,
+    MemSpace,
+    Opcode,
+    PredReg,
+    Register,
+)
+from .affine_analysis import AffineAnalysis
+
+#: §4.6: at most this many divergent affine conditions per decoupled operand.
+MAX_CONDITIONS = 2
+
+
+@dataclass
+class DecoupledProgram:
+    """Result of decoupling one kernel."""
+
+    original: Kernel
+    affine: Kernel | None            # None: kernel could not be decoupled
+    nonaffine: Kernel
+    analysis: AffineAnalysis
+    num_queues: int = 0
+    decoupled_loads: int = 0         # static counts
+    decoupled_stores: int = 0
+    decoupled_preds: int = 0
+    removed_instructions: int = 0    # dropped from the non-affine stream
+    queue_origin: dict = field(default_factory=dict)   # qid -> original idx
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def is_decoupled(self) -> bool:
+        return self.affine is not None and self.num_queues > 0
+
+    def summary(self) -> str:
+        if not self.is_decoupled:
+            return (f"{self.original.name}: not decoupled "
+                    f"({'; '.join(self.notes) or 'no eligible instructions'})")
+        return (f"{self.original.name}: {self.decoupled_loads} loads, "
+                f"{self.decoupled_stores} stores, {self.decoupled_preds} "
+                f"predicates decoupled; {self.removed_instructions} of "
+                f"{len(self.original)} instructions removed from the "
+                f"non-affine stream; affine stream has {len(self.affine)}")
+
+
+class Decoupler:
+    """Runs the decoupling pass on one kernel."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.analysis = AffineAnalysis(kernel)
+        self.reaching = self.analysis.reaching
+
+    # ---- branch inclusion fixpoint -------------------------------------
+
+    def _included_branches(self) -> tuple[set[int], set[int]]:
+        """Split conditional branches into (included, excluded) for the
+        affine stream.  A branch is excluded when its predicate is
+        non-affine, its predicate slice contains non-affine work, or it
+        lives under an excluded branch."""
+        insts = self.kernel.instructions
+        conditional = [i for i, inst in enumerate(insts)
+                       if inst.is_branch and inst.guard is not None]
+        excluded = {i for i in conditional
+                    if self.analysis.branch_kind(i) == "nonaffine"}
+        changed = True
+        while changed:
+            changed = False
+            for idx in conditional:
+                if idx in excluded:
+                    continue
+                bad = False
+                if any(b in excluded
+                       for b in self.analysis.control_deps.get(idx, ())):
+                    bad = True
+                else:
+                    for d in self.reaching.backward_slice({idx}):
+                        if self.analysis.def_class[d] is \
+                                OperandClass.NONAFFINE \
+                                or insts[d].is_load \
+                                or any(b in excluded for b in
+                                       self.analysis.control_deps.get(d, ())):
+                            bad = True
+                            break
+                if bad:
+                    excluded.add(idx)
+                    changed = True
+        included = {i for i in conditional if i not in excluded}
+        return included, excluded
+
+    def _placeable(self, idx: int, excluded: set[int]) -> bool:
+        """Whether an instruction may live in the affine stream: it must not
+        sit under any branch the affine warp cannot evaluate."""
+        return not any(b in excluded
+                       for b in self.analysis.control_deps.get(idx, ()))
+
+    # ---- candidate selection ----------------------------------------------
+
+    def _slice_roots(self, idx: int):
+        """Register-follow filter for a candidate's backward slice: only the
+        address operand (and guard) of memory ops; both operands of setp."""
+        inst = self.kernel.instructions[idx]
+        if inst.is_memory:
+            ref = inst.mem_ref()
+            names = set()
+            if isinstance(ref.address, Register):
+                names.add(ref.address.name)
+            if isinstance(inst.guard, PredReg):
+                names.add(inst.guard.name)
+            return lambda i, reg: reg in names
+        return None                       # setp: follow everything
+
+    def _candidate_ok(self, idx: int, excluded: set[int]) -> bool:
+        insts = self.kernel.instructions
+        inst = insts[idx]
+        if not self._placeable(idx, excluded):
+            return False
+        if isinstance(inst.guard, PredReg):
+            guard_class = self.analysis.operand_class(idx, inst.guard)
+            if guard_class is OperandClass.NONAFFINE:
+                return False
+        slice_ = self.reaching.backward_slice({idx}, self._slice_roots(idx))
+        for d in slice_:
+            if self.analysis.def_class[d] is OperandClass.NONAFFINE \
+                    or insts[d].is_load \
+                    or not self._placeable(d, excluded):
+                return False
+        conditions = self.analysis.affine_conditions(slice_)
+        # Predicated writes (@p mov ...) with a thread-divergent guard are
+        # divergent conditions too: each creates a guarded tuple at runtime.
+        guard_conditions = set()
+        for d in slice_:
+            guard = insts[d].guard
+            if isinstance(guard, PredReg) and \
+                    self.analysis.operand_class(d, guard) \
+                    is OperandClass.AFFINE:
+                guard_conditions.add(guard.name)
+        if len(conditions) + len(guard_conditions) > MAX_CONDITIONS:
+            return False
+        # Loop-carried divergent tuples are not decoupled (§4.6): a def that
+        # diverges per thread (branch region or affine guard) inside a loop
+        # would accumulate unboundedly many guarded tuples.
+        for d in slice_:
+            guard = insts[d].guard
+            divergent = any(self.analysis.branch_kind(b) == "affine"
+                            for b in self.analysis.control_deps.get(d, ())) \
+                or (isinstance(guard, PredReg)
+                    and self.analysis.operand_class(d, guard)
+                    is OperandClass.AFFINE)
+            if divergent and self.analysis.in_loop(d):
+                return False
+        return True
+
+    def _find_candidates(self, excluded: set[int]) -> dict[int, str]:
+        """Map of instruction index -> queue kind ('data'/'addr'/'pred')."""
+        out: dict[int, str] = {}
+        for idx, inst in enumerate(self.kernel.instructions):
+            if inst.is_memory and inst.space in (MemSpace.GLOBAL,
+                                                 MemSpace.LOCAL):
+                if self.analysis.address_class(idx) is OperandClass.NONAFFINE:
+                    continue
+                if not self._candidate_ok(idx, excluded):
+                    continue
+                out[idx] = "data" if inst.is_load else "addr"
+            elif inst.opcode is Opcode.SETP:
+                classes = [self.analysis.operand_class(idx, op)
+                           for op in inst.srcs]
+                if OperandClass.NONAFFINE in classes:
+                    continue
+                if self.analysis.def_class.get(idx) is OperandClass.NONAFFINE:
+                    continue
+                if not self._candidate_ok(idx, excluded):
+                    continue
+                out[idx] = "pred"
+        return out
+
+    # ---- stream construction -------------------------------------------
+
+    def run(self) -> DecoupledProgram:
+        insts = self.kernel.instructions
+        # Barriers under data-dependent control would desynchronize the
+        # AEU's barrier gating; fall back to no decoupling.
+        for idx, inst in enumerate(insts):
+            if inst.is_barrier and self.analysis.nonaffine_control_dep(idx):
+                return self._not_decoupled("barrier under data-dependent "
+                                           "control flow")
+
+        included, excluded = self._included_branches()
+        candidates = self._find_candidates(excluded)
+        if not candidates:
+            return self._not_decoupled("no eligible affine instructions")
+
+        # Only decouple predicates that some surviving branch/instruction in
+        # the non-affine stream actually consumes; a setp is always consumed
+        # when its register guards a branch (branches stay non-affine).
+        queue_ids: dict[int, int] = {}
+        for n, idx in enumerate(sorted(candidates)):
+            queue_ids[idx] = n
+
+        # Affine stream slice: every def feeding a candidate or an included
+        # branch.
+        roots = set(candidates)
+        slice_union: set[int] = set()
+        for idx in candidates:
+            slice_union |= self.reaching.backward_slice(
+                {idx}, self._slice_roots(idx))
+        for idx in included:
+            slice_union |= self.reaching.backward_slice({idx})
+        slice_union = {d for d in slice_union
+                       if self._placeable(d, excluded)
+                       and self.analysis.def_class[d] is not
+                       OperandClass.NONAFFINE
+                       and not insts[d].is_load}
+
+        affine_list = self._build_affine(candidates, queue_ids, included,
+                                         slice_union)
+        nonaffine_list, removed = self._build_nonaffine(candidates,
+                                                        queue_ids)
+
+        program = DecoupledProgram(
+            original=self.kernel,
+            affine=self._assemble("affine_" + self.kernel.name, affine_list),
+            nonaffine=self._assemble("na_" + self.kernel.name,
+                                     nonaffine_list),
+            analysis=self.analysis,
+            num_queues=len(queue_ids),
+            decoupled_loads=sum(1 for k in candidates.values()
+                                if k == "data"),
+            decoupled_stores=sum(1 for k in candidates.values()
+                                 if k == "addr"),
+            decoupled_preds=sum(1 for k in candidates.values()
+                                if k == "pred"),
+            removed_instructions=removed,
+            queue_origin={qid: idx for idx, qid in queue_ids.items()},
+        )
+        return program
+
+    def _not_decoupled(self, reason: str) -> DecoupledProgram:
+        return DecoupledProgram(original=self.kernel, affine=None,
+                                nonaffine=self.kernel,
+                                analysis=self.analysis, notes=[reason])
+
+    def _build_affine(self, candidates: dict[int, str],
+                      queue_ids: dict[int, int], included: set[int],
+                      slice_union: set[int]) -> list[tuple[int, Instruction]]:
+        insts = self.kernel.instructions
+        out: list[tuple[int, Instruction]] = []
+        for idx, inst in enumerate(insts):
+            if idx in candidates:
+                kind = candidates[idx]
+                if kind == "pred":
+                    out.append((idx, inst.clone()))
+                    out.append((idx, Instruction(
+                        Opcode.ENQ_PRED, srcs=(inst.dsts[0],),
+                        guard=inst.guard, guard_negated=inst.guard_negated,
+                        queue_id=queue_ids[idx])))
+                else:
+                    ref = inst.mem_ref()
+                    src = (ref if ref.displacement else ref.address)
+                    opcode = (Opcode.ENQ_DATA if kind == "data"
+                              else Opcode.ENQ_ADDR)
+                    out.append((idx, Instruction(
+                        opcode, srcs=(src,), guard=inst.guard,
+                        guard_negated=inst.guard_negated, space=inst.space,
+                        queue_id=queue_ids[idx])))
+                continue
+            if inst.is_branch:
+                excluded = {b for b in range(len(insts))
+                            if insts[b].is_branch
+                            and insts[b].guard is not None
+                            and b not in included}
+                keep = inst.guard is None or idx in included
+                if keep and self._placeable(idx, excluded):
+                    out.append((idx, inst.clone()))
+                continue
+            if inst.is_barrier or inst.is_exit:
+                out.append((idx, inst.clone()))
+                continue
+            if idx in slice_union:
+                out.append((idx, inst.clone()))
+        return out
+
+    def _build_nonaffine(self, candidates: dict[int, str],
+                         queue_ids: dict[int, int]) \
+            -> tuple[list[tuple[int, Instruction]], int]:
+        insts = self.kernel.instructions
+        replaced: dict[int, Instruction] = {}
+        for idx, kind in candidates.items():
+            inst = insts[idx]
+            qid = queue_ids[idx]
+            if kind == "data":
+                replaced[idx] = inst.clone(srcs=(DeqToken("data", qid),))
+            elif kind == "addr":
+                replaced[idx] = inst.clone(dsts=(DeqToken("addr", qid),))
+            else:
+                replaced[idx] = Instruction(
+                    Opcode.MOV, dsts=(inst.dsts[0],),
+                    srcs=(DeqToken("pred", qid),), guard=inst.guard,
+                    guard_negated=inst.guard_negated)
+
+        # Essential: control flow, memory, barriers, exits, every deq.
+        essential: set[int] = set()
+        for idx, inst in enumerate(insts):
+            eff = replaced.get(idx, inst)
+            if (eff.is_branch or eff.is_barrier or eff.is_exit
+                    or eff.is_memory
+                    or any(isinstance(o, DeqToken)
+                           for o in eff.dsts + eff.srcs)
+                    or isinstance(eff.guard, DeqToken)):
+                essential.add(idx)
+
+        # Keep transitive register dependencies of essential instructions,
+        # but do not follow through a replaced instruction's removed
+        # operands: a deq-load no longer reads its address register.
+        keep = set(essential)
+        worklist = list(essential)
+        while worklist:
+            idx = worklist.pop()
+            eff = replaced.get(idx, insts[idx])
+            for op in eff.read_regs():
+                for d in self.reaching.reaching(idx, op.name):
+                    if d not in keep:
+                        keep.add(d)
+                        worklist.append(d)
+            if eff.guard is not None and isinstance(eff.guard, PredReg):
+                pass                      # read_regs already includes guards
+            if eff.guard is not None and eff.written_regs():
+                for dst in eff.written_regs():
+                    for d in self.reaching.reaching(idx, dst.name):
+                        if d not in keep:
+                            keep.add(d)
+                            worklist.append(d)
+
+        out = [(idx, replaced.get(idx, insts[idx]).clone()
+                if idx in keep else None)
+               for idx in range(len(insts))]
+        kept = [(idx, inst) for idx, inst in out if inst is not None]
+        removed = len(insts) - len(kept)
+        return kept, removed
+
+    def _assemble(self, name: str,
+                  items: list[tuple[int, Instruction]]) -> Kernel:
+        """Build a Kernel from (original_index, instruction) pairs with
+        branch labels remapped to the nearest surviving instruction."""
+        orig_indices = [idx for idx, _ in items]
+        instructions = [inst for _, inst in items]
+        labels: dict[str, int] = {}
+        for label, target in self.kernel.labels.items():
+            new_target = bisect.bisect_left(orig_indices, target)
+            labels[label] = min(new_target, len(instructions) - 1)
+        # Drop branches to labels that no longer exist in this stream; keep
+        # only labels actually referenced (plus all, harmlessly).
+        return Kernel(name=name, params=self.kernel.params,
+                      instructions=instructions, labels=labels)
+
+
+def decouple(kernel: Kernel) -> DecoupledProgram:
+    """Run the decoupling compiler on a kernel."""
+    return Decoupler(kernel).run()

@@ -1,0 +1,155 @@
+"""Static verifier for decoupled programs.
+
+The DAC hardware relies on the two streams agreeing dynamically: each
+warp's sequence of dequeues must match the affine warp's sequence of
+enqueues (per queue class, FIFO).  The decoupler guarantees this by
+construction; this verifier re-derives the guarantees independently so a
+compiler regression fails loudly at compile time rather than as a queue
+mismatch deep inside a simulation.
+
+Checks:
+
+* **pairing** — enq queue ids and deq queue ids are the same bijection,
+  and each pair originates from the same original instruction;
+* **ordering** — within each basic block of each stream, queue operations
+  appear in ascending original-program order, separately per queue class
+  (PWAQ: data+addr interleaved; PWPQ: pred);
+* **guards** — an enq and its deq carry the same guard (same predicate
+  name and polarity), so warp-level masks agree at expansion and dequeue;
+* **purity** — the affine stream contains no loads/stores (it may only
+  observe read-only state: parameters, thread geometry) and the non-affine
+  stream contains no enqueues;
+* **barriers** — both streams contain the same number of barriers, in the
+  same relative order against queue operations (by original index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import DeqToken, Instruction, Kernel, Opcode, PredReg
+from .decouple import DecoupledProgram
+
+
+@dataclass
+class VerificationReport:
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "decoupling verified: no inconsistencies"
+        return "decoupling FAILED verification:\n" + "\n".join(
+            f"  - {e}" for e in self.errors)
+
+
+def _deq_tokens(inst: Instruction):
+    for op in inst.srcs + inst.dsts:
+        if isinstance(op, DeqToken):
+            yield op
+    if isinstance(inst.guard, DeqToken):
+        yield inst.guard
+
+
+def _queue_class(kind: str) -> str:
+    return "pwpq" if kind == "pred" else "pwaq"
+
+
+def _guard_signature(inst: Instruction):
+    if isinstance(inst.guard, PredReg):
+        return (inst.guard.name, inst.guard_negated)
+    return None
+
+
+def verify(program: DecoupledProgram) -> VerificationReport:
+    """Run every check; returns a report (never raises)."""
+    report = VerificationReport()
+    if not program.is_decoupled:
+        return report
+
+    enqs: dict[int, Instruction] = {}
+    for inst in program.affine.instructions:
+        if inst.is_enq:
+            if inst.queue_id in enqs:
+                report.errors.append(
+                    f"duplicate enqueue for queue {inst.queue_id}")
+            enqs[inst.queue_id] = inst
+        if inst.is_memory:
+            report.errors.append(
+                f"affine stream contains a memory access: {inst}")
+
+    deqs: dict[int, Instruction] = {}
+    for inst in program.nonaffine.instructions:
+        if inst.is_enq:
+            report.errors.append(
+                f"non-affine stream contains an enqueue: {inst}")
+        for token in _deq_tokens(inst):
+            if token.queue_id in deqs:
+                report.errors.append(
+                    f"duplicate dequeue for queue {token.queue_id}")
+            deqs[token.queue_id] = inst
+
+    # Pairing.
+    if set(enqs) != set(deqs):
+        report.errors.append(
+            f"queue id mismatch: enq={sorted(enqs)} deq={sorted(deqs)}")
+        return report
+    if set(enqs) != set(program.queue_origin):
+        report.errors.append("queue ids do not match recorded origins")
+
+    kind_of_enq = {Opcode.ENQ_DATA: "data", Opcode.ENQ_ADDR: "addr",
+                   Opcode.ENQ_PRED: "pred"}
+    for qid, enq in enqs.items():
+        deq = deqs[qid]
+        enq_kind = kind_of_enq[enq.opcode]
+        deq_kind = next(_deq_tokens(deq)).kind
+        if enq_kind != deq_kind:
+            report.errors.append(
+                f"queue {qid}: enq kind {enq_kind} vs deq kind {deq_kind}")
+        if enq_kind != "pred" and \
+                _guard_signature(enq) != _guard_signature(deq):
+            report.errors.append(
+                f"queue {qid}: guard mismatch "
+                f"({_guard_signature(enq)} vs {_guard_signature(deq)})")
+
+    # Ordering: queue ids ascend with original program order, so checking
+    # ascending qid order per block per class suffices.
+    def check_order(kernel: Kernel, ids_of, label: str) -> None:
+        from .cfg import CFG
+        cfg = CFG(kernel)
+        for block in cfg.blocks:
+            last: dict[str, int] = {}
+            for inst in block.instructions(kernel):
+                for cls, qid in ids_of(inst):
+                    origin = program.queue_origin.get(qid, -1)
+                    if cls in last and origin < last[cls]:
+                        report.errors.append(
+                            f"{label}: queue ops out of original order in "
+                            f"block {block.index} (queue {qid})")
+                    last[cls] = origin
+
+    def affine_ids(inst):
+        if inst.is_enq:
+            yield _queue_class(kind_of_enq[inst.opcode]), inst.queue_id
+
+    def nonaffine_ids(inst):
+        for token in _deq_tokens(inst):
+            yield _queue_class(token.kind), token.queue_id
+
+    check_order(program.affine, affine_ids, "affine stream")
+    check_order(program.nonaffine, nonaffine_ids, "non-affine stream")
+
+    # Barrier counts.
+    affine_bars = sum(1 for i in program.affine.instructions
+                      if i.is_barrier)
+    nonaffine_bars = sum(1 for i in program.nonaffine.instructions
+                         if i.is_barrier)
+    if affine_bars != nonaffine_bars:
+        report.errors.append(
+            f"barrier replication mismatch: affine {affine_bars} vs "
+            f"non-affine {nonaffine_bars}")
+
+    return report

@@ -1,0 +1,254 @@
+"""The DAC-enabled SM: affine warp + expansion units + dequeue gating.
+
+Extends the baseline SM (paper Fig. 9): an affine warp context shares the
+ordinary issue slots (DAC has no dedicated affine functional unit, §4.4);
+the AEU/PEU run in parallel with warp execution; the scoreboard stage gates
+``deq`` instructions on their per-warp queues and on prefetched data being
+present in the L1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import DeqToken, Instruction, Opcode
+from ..sim.launch import CTAState
+from ..sim.sm import SM
+from ..sim.warp import WarpContext
+from .affine_warp import AffineCTAExec, AffineWarpHandle
+from .expansion import AddressExpansionUnit, PredicateExpansionUnit
+from .queues import ATQ, PerWarpQueue
+
+
+def _deq_kind(inst: Instruction) -> str | None:
+    for op in inst.srcs + inst.dsts:
+        if isinstance(op, DeqToken):
+            return op.kind
+    if isinstance(inst.guard, DeqToken):
+        return inst.guard.kind
+    return None
+
+
+class DACSM(SM):
+    """SM with Decoupled Affine Computation hardware."""
+
+    def __init__(self, gpu, index: int):
+        super().__init__(gpu, index)
+        dac = self.config.dac
+        self.atq_mem = ATQ(dac.atq_entries // 2)
+        self.atq_pred = ATQ(dac.atq_entries - dac.atq_entries // 2)
+        self.aeu = AddressExpansionUnit(self, self.atq_mem)
+        self.peu = PredicateExpansionUnit(self, self.atq_pred)
+        self.affine_handle = AffineWarpHandle()
+        self.schedulers[0].add_warp(self.affine_handle)
+        self.affine_execs: dict[int, AffineCTAExec] = {}
+        self._pwaq_capacity = max(1, dac.pwaq_entries
+                                  // self.config.warps_per_sm)
+        self._pwpq_capacity = max(1, dac.pwpq_entries
+                                  // self.config.warps_per_sm)
+
+    @property
+    def program(self):
+        return getattr(self.gpu, "dac_program", None)
+
+    # ---- CTA lifecycle ------------------------------------------------
+
+    def on_cta_assigned(self, cta: CTAState) -> None:
+        for warp in self.warps:
+            if warp.cta is cta:
+                warp.pwaq = PerWarpQueue(self._pwaq_capacity)
+                warp.pwpq = PerWarpQueue(self._pwpq_capacity)
+        program = self.program
+        if program is None or not program.is_decoupled:
+            return
+        key = id(cta)
+        self.atq_mem.register_cta(key)
+        self.atq_pred.register_cta(key)
+        exec_ = AffineCTAExec(self, cta, program.affine,
+                              self.gpu.cfg_of(program.affine))
+        self.affine_execs[key] = exec_
+        self.affine_handle.add(exec_)
+
+    def on_cta_retired(self, cta: CTAState) -> None:
+        key = id(cta)
+        exec_ = self.affine_execs.pop(key, None)
+        if exec_ is None:
+            return
+        self.affine_handle.remove(exec_)
+        self.atq_mem.drop_cta(key)
+        self.atq_pred.drop_cta(key)
+        if not exec_.done:
+            self.stats.add("dac.affine_unfinished")
+        leftover = 0
+        for warp in exec_.cta_warps:
+            for record in warp.pwaq.drain():
+                leftover += 1
+                for line in record.locked_lines:
+                    self.l1.unlock(line)
+            leftover += len(warp.pwpq.drain())
+        if leftover:
+            self.stats.add("dac.leftover_records", leftover)
+
+    # ---- cycle -----------------------------------------------------------
+
+    def cycle(self, now: int) -> bool:
+        progressed = False
+        if self.affine_execs:
+            if self.aeu.tick(now):
+                progressed = True
+            if self.peu.tick(now):
+                progressed = True
+        issued = super().cycle(now)
+        return issued or progressed
+
+    # ---- issue -------------------------------------------------------------
+
+    def try_issue(self, warp, now: int, scheduler) -> int:
+        if warp is self.affine_handle:
+            return self._try_issue_affine(now)
+        if isinstance(warp, WarpContext) and not warp.done \
+                and not warp.at_barrier:
+            inst = warp.launch.kernel.instructions[warp.pc]
+            kind = _deq_kind(inst)
+            if kind is not None:
+                if not warp.regs_ready(inst):
+                    return 0
+                return self._try_issue_deq(warp, inst, kind, now)
+        return super().try_issue(warp, now, scheduler)
+
+    # ---- affine warp issue ----------------------------------------------
+
+    def _try_issue_affine(self, now: int) -> int:
+        exec_ = self.affine_handle.pick_ready(now)
+        if exec_ is None:
+            return 0
+        inst = exec_.current_instruction()
+        exec_.step(now)
+        stats = self.stats
+        stats.add("affine_warp_instructions")
+        stats.add(f"affine_inst.{inst.category}")
+        if exec_.last_step_concrete:
+            # §3 fallback: the value was expanded to concrete per-thread
+            # vectors — a full-width vector op over every warp of the CTA.
+            warps = len(exec_.cta_warps)
+            stats.add("dac.concrete_fallbacks")
+            stats.add("affine_alu_lanes", 32 * warps)
+            stats.add("rf_accesses", 2 * warps)
+            return self.config.issue_interval * warps
+        if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
+            # Tuple computation maps one base + up to 6 offsets onto SIMT
+            # lanes (§4.4, Fig. 12).
+            stats.add("affine_alu_lanes", 7)
+            stats.add("rf_accesses", 2)
+        # Affine instructions occupy a scheduler slot for a single cycle:
+        # a tuple fits comfortably in one 16-lane issue group.
+        return 1
+
+    # ---- dequeue issue -------------------------------------------------
+
+    def _try_issue_deq(self, warp: WarpContext, inst: Instruction,
+                       kind: str, now: int) -> int:
+        mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
+        if not mask.any():
+            # Fully predicated off: nothing was expanded for this warp, so
+            # nothing is popped (matches the AEU skipping empty warps).
+            self._count_issue(warp, inst, 0)
+            warp.stack.pc = warp.pc + 1
+            return self.config.issue_interval
+
+        if kind == "pred":
+            record = warp.pwpq.head()
+            if record is None:
+                self.stats.add("dac.stall_pred_record")
+                return 0
+            warp.pwpq.pop()
+            self.stats.add("dac.deq_preds")
+            dst = inst.dsts[0]
+            warp.executor.write(dst, record.bits, mask)
+            warp.acquire(dst.name)
+            self.events.schedule(
+                now + self.config.alu_latency,
+                lambda t, w=warp, n=dst.name: w.release(n))
+            self._count_issue(warp, inst, int(mask.sum()))
+            warp.stack.pc = warp.pc + 1
+            return self.config.issue_interval
+
+        record = warp.pwaq.head()
+        if record is None:
+            self.stats.add("dac.stall_no_record")
+            return 0
+        if record.kind != kind:
+            raise RuntimeError(
+                f"PWAQ order mismatch: warp expects {kind}, head is "
+                f"{record.kind} (kernel {warp.launch.kernel.name!r})")
+        if kind == "data":
+            if record.fills_remaining > 0:
+                self.stats.add("dac.stall_fill")
+                return 0                       # data not yet in L1 (Fig. 9 ⑨)
+            if now < self.lsu_free:
+                return 0
+            warp.pwaq.pop()
+            self.stats.add("dac.lead_cycles", now - record.fill_time)
+            self.stats.add("dac.issue_to_deq", now - record.issue_time)
+            self._finish_deq_load(warp, inst, record, mask, now)
+        else:
+            if now < self.lsu_free:
+                return 0
+            warp.pwaq.pop()
+            self._finish_deq_store(warp, inst, record, mask, now)
+        self._count_issue(warp, inst, int(mask.sum()))
+        warp.stack.pc = warp.pc + 1
+        return self.config.issue_interval
+
+    def _finish_deq_load(self, warp: WarpContext, inst: Instruction,
+                         record, mask: np.ndarray, now: int) -> None:
+        values = warp.launch.memory.load(record.addrs, mask)
+        dst = inst.dsts[0]
+        warp.executor.write(dst, values, mask)
+        self.stats.add("dac.deq_loads")
+        self.stats.add("dac.deq_load_lines", len(record.lines))
+        for line in record.locked_lines:
+            self.l1.unlock(line)
+        missing = [line for line in record.lines
+                   if not (self.l1.contains(line)
+                           or self.l1.in_flight(line))]
+        warp.acquire(dst.name)
+        warp.mem_pending += 1
+        if missing:
+            # An unlocked line was evicted between fill and use: re-fetch.
+            self.stats.add("dac.deq_refetches", len(missing))
+            state = {"remaining": len(missing)}
+
+            def on_line(t, state=state, w=warp, name=dst.name):
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    w.release(name)
+                    w.mem_pending -= 1
+
+            for line in missing:
+                self.l1.read(line, now, on_line)
+        else:
+            self.events.schedule(
+                now + self.config.l1.hit_latency,
+                lambda t, w=warp, n=dst.name: (w.release(n),
+                                               _dec_mem(w)))
+        self.stats.add("l1.deq_reads", len(record.lines))
+        self.lsu_free = now + max(1, len(record.lines))
+
+    def _finish_deq_store(self, warp: WarpContext, inst: Instruction,
+                          record, mask: np.ndarray, now: int) -> None:
+        raw = warp.executor.value(inst.srcs[0])
+        values = np.broadcast_to(np.asarray(raw, dtype=np.float64),
+                                 (warp.width,))
+        if inst.opcode is Opcode.ATOM:
+            warp.launch.memory.atomic_add(record.addrs, values, mask)
+        else:
+            warp.launch.memory.store(record.addrs, values, mask)
+        self.stats.add("dac.deq_stores")
+        for line in record.lines:
+            self.l1.write(line, now)
+        self.lsu_free = now + max(1, len(record.lines))
+
+
+def _dec_mem(warp: WarpContext) -> None:
+    warp.mem_pending -= 1

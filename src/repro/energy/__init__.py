@@ -1,0 +1,9 @@
+"""Energy and area models (GPUWattch/CACTI substitutes)."""
+
+from .area import AreaReport, area_report, dac_sram_bytes
+from .model import CLOCK_HZ, ENERGY_PJ, EnergyBreakdown, energy_of
+
+__all__ = [
+    "AreaReport", "CLOCK_HZ", "ENERGY_PJ", "EnergyBreakdown",
+    "area_report", "dac_sram_bytes", "energy_of",
+]

@@ -1,0 +1,86 @@
+"""Area model for DAC's added hardware (paper §4.8).
+
+Reproduces the paper's accounting: per-SM SRAM structures (sized from the
+DAC configuration) at a CACTI-derived density, plus two expansion-unit
+ALUs, against a GTX 480 die of 520 mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DACConfig, GPUConfig
+
+#: Per-entry storage in bytes, matching §4.8's totals:
+#: ATQ 24 entries = 393 B; PWAQ 192 = 1560 B; PWPQ 192 = 768 B;
+#: WLS depth 8 = 224 B; PWS 8 x 48 = 1536 B; DCRF mirrors the stack.
+ATQ_ENTRY_BYTES = 393 / 24
+PWAQ_ENTRY_BYTES = 1560 / 192
+PWPQ_ENTRY_BYTES = 768 / 192
+WLS_ENTRY_BYTES = 224 / 8
+PWS_ENTRY_BYTES = 1536 / (8 * 48)
+
+#: CACTI-style density implied by the paper: ~6 KB of structures -> 0.21 mm².
+SRAM_MM2_PER_KB = 0.21 / 6.0
+
+#: GPUWattch-style ALU area (two ALUs -> 0.16 mm²).
+ALU_MM2 = 0.08
+
+GTX480_DIE_MM2 = 520.0
+
+
+@dataclass
+class AreaReport:
+    sram_bytes_per_sm: float
+    sram_mm2_per_sm: float
+    alu_mm2_per_sm: float
+    num_sms: int
+    die_mm2: float
+
+    @property
+    def per_sm_mm2(self) -> float:
+        return self.sram_mm2_per_sm + self.alu_mm2_per_sm
+
+    @property
+    def total_mm2(self) -> float:
+        return self.per_sm_mm2 * self.num_sms
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.total_mm2 / self.die_mm2
+
+    def table(self) -> str:
+        rows = [
+            f"SRAM per SM       {self.sram_bytes_per_sm:7.0f} B  "
+            f"{self.sram_mm2_per_sm:.3f} mm2",
+            f"ALUs per SM                    {self.alu_mm2_per_sm:.3f} mm2",
+            f"Total ({self.num_sms} SMs)               "
+            f"{self.total_mm2:.2f} mm2",
+            f"Die                          {self.die_mm2:.0f} mm2",
+            f"Overhead                     "
+            f"{self.overhead_fraction * 100:.2f} %",
+        ]
+        return "\n".join(rows)
+
+
+def dac_sram_bytes(dac: DACConfig, warps_per_sm: int = 48) -> float:
+    """Total added SRAM per SM for a DAC configuration."""
+    atq = dac.atq_entries * ATQ_ENTRY_BYTES
+    pwaq = dac.pwaq_entries * PWAQ_ENTRY_BYTES
+    pwpq = dac.pwpq_entries * PWPQ_ENTRY_BYTES
+    wls = dac.stack_depth * WLS_ENTRY_BYTES
+    pws = dac.stack_depth * warps_per_sm * PWS_ENTRY_BYTES
+    dcrf = wls + pws                     # §4.8: same storage as the stack
+    return atq + pwaq + pwpq + wls + pws + dcrf
+
+
+def area_report(config: GPUConfig | None = None) -> AreaReport:
+    config = config or GPUConfig.gtx480()
+    sram_bytes = dac_sram_bytes(config.dac, config.warps_per_sm)
+    return AreaReport(
+        sram_bytes_per_sm=sram_bytes,
+        sram_mm2_per_sm=sram_bytes / 1024 * SRAM_MM2_PER_KB,
+        alu_mm2_per_sm=config.dac.expansion_alus * ALU_MM2,
+        num_sms=15,
+        die_mm2=GTX480_DIE_MM2,
+    )

@@ -1,0 +1,123 @@
+"""Event-based energy model (the GPUWattch/CACTI substitute, paper §5.6).
+
+Dynamic energy = Σ (event count × per-event energy); static energy =
+leakage power × execution time.  Per-event constants are calibrated so a
+baseline Fermi run lands near GPUWattch's reported breakdown (ALU and
+register file dominating dynamic energy, DRAM significant for streaming
+workloads, static ≈ a third of total).  DAC's added structures use the
+paper's Table 1 pJ/access numbers verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.gpu import RunResult
+
+#: Shader clock, Hz (GTX 480).
+CLOCK_HZ = 1.4e9
+
+#: Per-event dynamic energies in picojoules.
+ENERGY_PJ = {
+    "warp_issue": 220.0,         # fetch/decode/issue/commit per warp inst
+    "alu_op": 11.0,              # per thread ALU operation
+    "sfu_op": 55.0,              # per thread SFU operation
+    "rf_access": 5.5,            # per thread per operand
+    "shared_access": 32.0,       # per warp shared-memory access
+    "l1_access": 72.0,           # per 128 B line access
+    "l2_access": 260.0,
+    "dram_access": 2100.0,
+    # DAC structures (paper Table 1).
+    "atq_access": 5.3,
+    "pwaq_access": 3.4,
+    "pwpq_access": 1.5,
+    "pws_access": 2.7,
+    "expansion_alu": 11.0,       # the AEU/PEU integer ALUs
+    # MTA prefetch buffer (16 KB, comparable to a small cache).
+    "prefetch_buffer": 40.0,
+}
+
+#: Chip leakage power in watts: an uncore constant plus a per-SM term
+#: (scaled configurations keep per-SM leakage).  Calibrated so leakage is
+#: roughly a third of a busy baseline run's total, the Fermi-era split
+#: GPUWattch reports.
+STATIC_UNCORE_W = 1.5
+STATIC_PER_SM_W = 0.45
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in joules, split into the Fig. 21 categories."""
+
+    alu: float = 0.0
+    register_file: float = 0.0
+    dac_overhead: float = 0.0
+    other_dynamic: float = 0.0
+    static: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def dynamic(self) -> float:
+        return (self.alu + self.register_file + self.dac_overhead
+                + self.other_dynamic)
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Per-category energy as a fraction of the baseline *total* — the
+        stacked bars of Fig. 21."""
+        ref = baseline.total
+        return {
+            "dac_overhead": self.dac_overhead / ref,
+            "alu": self.alu / ref,
+            "register": self.register_file / ref,
+            "other_dynamic": self.other_dynamic / ref,
+            "static": self.static / ref,
+            "total": self.total / ref,
+        }
+
+
+def energy_of(result: RunResult) -> EnergyBreakdown:
+    """Compute the energy breakdown for one simulation run."""
+    s = result.stats
+    pj = ENERGY_PJ
+    out = EnergyBreakdown()
+
+    out.alu = (s["alu_ops"] * pj["alu_op"]
+               + s["sfu_ops"] * pj["sfu_op"]
+               + s["affine_alu_lanes"] * pj["alu_op"]
+               + s["cae.affine_alu_ops"] * pj["alu_op"]) * 1e-12
+    out.register_file = s["rf_accesses"] * pj["rf_access"] * 1e-12
+
+    issue = (s["warp_instructions"] + s["affine_warp_instructions"]) \
+        * pj["warp_issue"]
+    l1 = (s["l1.accesses"] + s["l1.writes"] + s["l1.deq_reads"]) \
+        * pj["l1_access"]
+    l2 = (s["l2.accesses"] + s["l2.writes"]) * pj["l2_access"]
+    dram = (s["dram.reads"] + s["dram.writes"]) * pj["dram_access"]
+    shared = s["shared_accesses"] * pj["shared_access"]
+    mta = (s["mta.buffer_hits"] + s["mta.prefetches"]) \
+        * pj["prefetch_buffer"]
+    out.other_dynamic = (issue + l1 + l2 + dram + shared + mta) * 1e-12
+
+    atq = 2 * s["dac.atq_pushes"] * pj["atq_access"]
+    pwaq = (s["dac.records"] + s["dac.deq_loads"] + s["dac.deq_stores"]) \
+        * pj["pwaq_access"]
+    pwpq = (s["dac.pred_records"] + s["dac.deq_preds"]) * pj["pwpq_access"]
+    stack = (s["dac.pws_writes"] + s["dac.wls_writes"]
+             + s["dac.dcrf_writes"]) * pj["pws_access"]
+    expansion = (s["dac.aeu_alu_cycles"] + s["dac.peu_alu_cycles"]) \
+        * pj["expansion_alu"]
+    out.dac_overhead = (atq + pwaq + pwpq + stack + expansion) * 1e-12
+
+    seconds = result.cycles / CLOCK_HZ
+    static_watts = STATIC_UNCORE_W + STATIC_PER_SM_W * result.config.num_sms
+    out.static = static_watts * seconds
+
+    out.detail = {
+        "issue": issue * 1e-12, "l1": l1 * 1e-12, "l2": l2 * 1e-12,
+        "dram": dram * 1e-12, "shared": shared * 1e-12, "mta": mta * 1e-12,
+    }
+    return out

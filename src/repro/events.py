@@ -1,0 +1,37 @@
+"""A minimal discrete-event core shared by the timing models."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue.
+
+    Components schedule ``callback(time)`` at absolute cycle times; the GPU's
+    main loop interleaves per-cycle SM work with draining events due at the
+    current cycle.  A monotonically increasing sequence number makes the
+    ordering of same-cycle events deterministic (insertion order).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> None:
+        heapq.heappush(self._heap, (int(time), next(self._seq), callback))
+
+    def run_until(self, time: int) -> None:
+        """Fire every event due at or before ``time``."""
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            due, _, callback = heapq.heappop(heap)
+            callback(due)
+
+    def next_time(self) -> int | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,39 @@
+"""Experiment harness: runners, per-figure drivers, reporting."""
+
+from .experiments import (
+    fig6_affine_potential,
+    fig6_report,
+    fig16_report,
+    fig16_speedup,
+    fig17_instruction_counts,
+    fig18_coverage,
+    fig19_affine_loads,
+    fig20_mta_coverage,
+    fig21_energy,
+    fig21_report,
+    table2_classification,
+)
+from .report import ascii_table, bar
+from .export import to_csv, to_json
+from .profile import Profile, profile
+from .sweeps import SweepPoint, SweepResult, override, sweep
+from .runner import (
+    Geomean,
+    TECHNIQUES,
+    clear_cache,
+    experiment_config,
+    run_benchmark,
+    run_one,
+    run_suite,
+)
+
+__all__ = [
+    "Geomean", "TECHNIQUES", "ascii_table", "bar", "clear_cache",
+    "experiment_config", "fig6_affine_potential", "fig6_report",
+    "fig16_report", "fig16_speedup", "fig17_instruction_counts",
+    "fig18_coverage", "fig19_affine_loads", "fig20_mta_coverage",
+    "fig21_energy", "fig21_report", "override", "profile", "Profile",
+    "run_benchmark", "run_one", "to_csv", "to_json",
+    "run_suite", "sweep", "SweepPoint", "SweepResult",
+    "table2_classification",
+]

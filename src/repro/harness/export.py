@@ -1,0 +1,45 @@
+"""Export figure data as CSV or JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+
+def _rows(data: dict) -> tuple[list[str], list[list]]:
+    """Normalize figure-driver output ({bench: value} or {bench: {k: v}})
+    into a header + rows."""
+    first = next(iter(data.values()))
+    if isinstance(first, dict):
+        columns = list(first.keys())
+        header = ["benchmark"] + columns
+        rows = [[bench] + [values.get(c, "") for c in columns]
+                for bench, values in data.items()]
+    else:
+        header = ["benchmark", "value"]
+        rows = [[bench, value] for bench, value in data.items()]
+    return header, rows
+
+
+def to_csv(data: dict, path: str | None = None) -> str:
+    """Render figure data as CSV; optionally also write it to ``path``."""
+    header, rows = _rows(data)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def to_json(data: dict, path: str | None = None) -> str:
+    """Render figure data as JSON; optionally also write it to ``path``."""
+    text = json.dumps(data, indent=2, sort_keys=True, default=float)
+    if path:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

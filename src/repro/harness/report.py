@@ -1,0 +1,28 @@
+"""Plain-text rendering of experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+
+def ascii_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    grid = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in grid))
+              if grid else len(headers[i]) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in grid:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar(value: float, scale: float = 20.0, maximum: float = 2.0) -> str:
+    """A tiny horizontal bar for terminal figures."""
+    filled = int(round(min(value, maximum) / maximum * scale))
+    return "#" * filled

@@ -1,0 +1,74 @@
+"""Design-space sweep utilities.
+
+A sweep varies one knob of the machine (a nested ``GPUConfig`` field, the
+technique, or the SM count) across a list of values and reports each
+variant's speedup over a shared baseline.  Used by the ablation benches and
+``examples/design_space.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..config import GPUConfig
+from ..core import run_dac
+from ..sim import simulate
+from ..workloads import get
+
+
+def override(config: GPUConfig, path: str, value) -> GPUConfig:
+    """Return ``config`` with the dotted ``path`` (e.g. ``dac.pwaq_entries``
+    or ``l1.size_bytes``) replaced by ``value``."""
+    parts = path.split(".")
+    if len(parts) == 1:
+        return dataclasses.replace(config, **{parts[0]: value})
+    if len(parts) == 2:
+        group = getattr(config, parts[0])
+        return dataclasses.replace(
+            config, **{parts[0]: dataclasses.replace(group,
+                                                     **{parts[1]: value})})
+    raise ValueError(f"path too deep: {path}")
+
+
+@dataclass
+class SweepPoint:
+    value: object
+    cycles: int
+    speedup: float
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    benchmark: str
+    knob: str
+    points: list[SweepPoint]
+
+    def table(self) -> str:
+        from .report import ascii_table
+        rows = [[str(p.value), p.cycles, p.speedup] for p in self.points]
+        return ascii_table([self.knob, "cycles", "speedup"], rows,
+                           f"sweep of {self.knob} on {self.benchmark}")
+
+
+def sweep(benchmark: str, knob: str, values, config: GPUConfig,
+          technique: str = "dac", scale: str = "paper",
+          keep_stats: tuple[str, ...] = ()) -> SweepResult:
+    """Run ``benchmark`` once per knob value; speedups are against the
+    *baseline technique on the unmodified config*."""
+    bench = get(benchmark)
+    base = simulate(bench.launch(scale), config)
+    points = []
+    for value in values:
+        variant = override(config, knob, value)
+        launch = bench.launch(scale)
+        if technique == "dac":
+            result = run_dac(launch, variant)
+        else:
+            result = simulate(launch, variant.with_technique(technique))
+        points.append(SweepPoint(
+            value=value, cycles=result.cycles,
+            speedup=base.cycles / result.cycles,
+            stats={k: result.stats[k] for k in keep_stats}))
+    return SweepResult(benchmark, knob, points)

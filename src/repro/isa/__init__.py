@@ -1,0 +1,38 @@
+"""Mini PTX-like ISA: operands, instructions, kernels, and an assembler."""
+
+from .assembler import AsmError, parse_instruction, parse_kernel, parse_operand
+from .builder import KernelBuilder
+from .instructions import (
+    AFFINE_CAPABLE_OPS,
+    ALU_BINARY,
+    ALU_UNARY,
+    CAE_CAPABLE_OPS,
+    CmpOp,
+    ENQ_OPS,
+    Instruction,
+    MemSpace,
+    Opcode,
+    SFU_OPS,
+    validate,
+)
+from .kernel import Kernel
+from .operands import (
+    DIMS,
+    DeqToken,
+    Immediate,
+    MemRef,
+    Operand,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+    is_readonly,
+)
+
+__all__ = [
+    "AFFINE_CAPABLE_OPS", "ALU_BINARY", "ALU_UNARY", "AsmError",
+    "CAE_CAPABLE_OPS", "CmpOp", "DIMS", "DeqToken", "ENQ_OPS", "Immediate",
+    "Instruction", "Kernel", "KernelBuilder", "MemRef", "MemSpace", "Opcode", "Operand",
+    "Param", "PredReg", "Register", "SFU_OPS", "SpecialReg", "is_readonly",
+    "parse_instruction", "parse_kernel", "parse_operand", "validate",
+]

@@ -1,0 +1,238 @@
+"""Text assembler for the mini PTX-like ISA.
+
+Syntax example (matching the paper's pseudo assembly, Fig. 4b)::
+
+    .kernel example (A, B, dim, num)
+        mul r0, %ctaid.x, %ntid.x;
+        add tid, %tid.x, r0;
+        mul r1, tid, 4;
+        add addrA, param.A, r1;
+        add addrB, param.B, r1;
+        mov i, 0;
+    LOOP:
+        ld.global tmp, [addrA];
+        add r2, tmp, 1;
+        st.global [addrB], r2;
+        add i, i, 1;
+        mul r3, param.num, 4;
+        add addrA, r3, addrA;
+        add addrB, r3, addrB;
+        setp.ne p0, param.dim, i;
+        @p0 bra LOOP;
+        exit;
+
+Conventions:
+
+* register names matching ``p<digits>`` are predicate registers;
+* ``%tid.x`` etc. are special registers; ``param.NAME`` reads a parameter;
+* ``[reg]`` / ``[reg+disp]`` is a memory reference;
+* ``deq.data`` / ``[deq.addr]`` / ``@deq.pred`` are the decoupled operand
+  forms of paper Fig. 7b (normally emitted by the compiler, but accepted in
+  source for tests and documentation);
+* comments start with ``//`` or ``#``; trailing semicolons are optional.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import CmpOp, Instruction, MemSpace, Opcode
+from .kernel import Kernel
+from .operands import (
+    DeqToken,
+    Immediate,
+    MemRef,
+    Operand,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+)
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly, with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_PRED_RE = re.compile(r"^p\d+$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_KERNEL_RE = re.compile(
+    r"^\.kernel\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)$")
+_MEMREF_RE = re.compile(r"^\[([^\]]+)\]$")
+_NUM_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+\.?\d*([eE]-?\d+)?)$")
+
+#: dtype suffixes that are recorded but do not affect semantics.
+_DTYPE_MODS = {"s32", "u32", "b32", "f32", "f64", "s64", "u64", "lo", "wide"}
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a single operand token."""
+    text = text.strip()
+    if not text:
+        raise ValueError("empty operand")
+    if _NUM_RE.match(text):
+        return Immediate(float(int(text, 16)) if "0x" in text.lower()
+                         else float(text))
+    if text.startswith("%"):
+        body = text[1:]
+        if "." not in body:
+            raise ValueError(f"special register needs a dimension: {text}")
+        family, dim = body.rsplit(".", 1)
+        return SpecialReg(family, dim)
+    if text.startswith("param."):
+        return Param(text[len("param."):])
+    if text.startswith("deq."):
+        return DeqToken(text[len("deq."):], queue_id=-1)
+    mem = _MEMREF_RE.match(text)
+    if mem:
+        inner = mem.group(1).strip()
+        disp = 0
+        if "+" in inner:
+            inner, disp_text = inner.rsplit("+", 1)
+            disp = int(disp_text, 0)
+        inner = inner.strip()
+        if inner.startswith("deq."):
+            return DeqToken(inner[len("deq."):], queue_id=-1)
+        return MemRef(parse_operand(inner), disp)
+    if _PRED_RE.match(text):
+        return PredReg(text)
+    return Register(text)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse one instruction (without trailing semicolon)."""
+    text = text.strip().rstrip(";").strip()
+    guard: PredReg | DeqToken | None = None
+    guard_negated = False
+    if text.startswith("@"):
+        guard_text, _, text = text[1:].partition(" ")
+        if guard_text.startswith("!"):
+            guard_negated = True
+            guard_text = guard_text[1:]
+        if guard_text.startswith("deq."):
+            guard = DeqToken(guard_text[len("deq."):], queue_id=-1)
+        else:
+            guard = PredReg(guard_text)
+        text = text.strip()
+
+    mnemonic, _, rest = text.partition(" ")
+    parts = mnemonic.split(".")
+    base = parts[0]
+    mods = parts[1:]
+
+    cmp = None
+    space = None
+    dtype = "s32"
+    target = None
+
+    if base == "enq":
+        if not mods or mods[0] not in ("data", "addr", "pred"):
+            raise ValueError(f"bad enq form: {mnemonic}")
+        opcode = {"data": Opcode.ENQ_DATA, "addr": Opcode.ENQ_ADDR,
+                  "pred": Opcode.ENQ_PRED}[mods[0]]
+        mods = mods[1:]
+    else:
+        try:
+            opcode = Opcode(base)
+        except ValueError:
+            raise ValueError(f"unknown opcode: {base!r}") from None
+
+    for mod in mods:
+        if opcode is Opcode.SETP and mod in CmpOp._value2member_map_:
+            cmp = CmpOp(mod)
+        elif opcode in (Opcode.LD, Opcode.ST, Opcode.ATOM,
+                        Opcode.ENQ_DATA, Opcode.ENQ_ADDR) and \
+                mod in MemSpace._value2member_map_:
+            space = MemSpace(mod)
+        elif opcode is Opcode.BAR and mod == "sync":
+            pass
+        elif mod in _DTYPE_MODS:
+            dtype = mod
+        else:
+            raise ValueError(f"unknown modifier .{mod} on {base}")
+
+    operand_texts = _split_operands(rest)
+
+    if opcode is Opcode.BRA:
+        if len(operand_texts) != 1:
+            raise ValueError("bra takes exactly one label")
+        target = operand_texts[0]
+        operands: list[Operand] = []
+    else:
+        operands = [parse_operand(t) for t in operand_texts]
+
+    # Partition into destinations and sources by opcode shape.
+    from .instructions import _operand_counts
+    ndst, nsrc = _operand_counts(opcode)
+    if opcode is not Opcode.BRA and len(operands) != ndst + nsrc:
+        raise ValueError(
+            f"{mnemonic} expects {ndst + nsrc} operands, got {len(operands)}")
+    dsts = tuple(operands[:ndst])
+    srcs = tuple(operands[ndst:])
+
+    return Instruction(opcode=opcode, dsts=dsts, srcs=srcs, guard=guard,
+                       guard_negated=guard_negated, cmp=cmp, space=space,
+                       target=target, dtype=dtype)
+
+
+def parse_kernel(text: str, name: str = "kernel",
+                 params: tuple[str, ...] | list[str] = ()) -> Kernel:
+    """Parse a full kernel.  A ``.kernel name (a, b)`` header line overrides
+    the ``name``/``params`` arguments."""
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    params = tuple(params)
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//")[0].split("#")[0].strip()
+        if not line or line in ("{", "}"):
+            continue
+        header = _KERNEL_RE.match(line)
+        if header:
+            name = header.group(1)
+            params = tuple(p.strip() for p in header.group(2).split(",")
+                           if p.strip())
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            lbl = label.group(1)
+            if lbl in labels:
+                raise AsmError(f"duplicate label {lbl!r}", line_no, raw)
+            labels[lbl] = len(instructions)
+            continue
+        try:
+            instructions.append(parse_instruction(line))
+        except ValueError as exc:
+            raise AsmError(str(exc), line_no, raw) from exc
+
+    if not instructions or not instructions[-1].is_exit:
+        instructions.append(Instruction(Opcode.EXIT))
+    # A label may point one past the end (e.g. DONE: exit appended).
+    for lbl, idx in labels.items():
+        if idx >= len(instructions):
+            raise AsmError(f"label {lbl!r} points past end of kernel", 0, lbl)
+    return Kernel(name=name, params=params, instructions=instructions,
+                  labels=labels)

@@ -1,0 +1,245 @@
+"""Programmatic kernel construction: a small fluent builder over the ISA.
+
+Writing assembly text is fine for fixed kernels; generated or parameterized
+kernels are easier to build programmatically::
+
+    b = KernelBuilder("saxpy", params=("A", "B", "O", "a"))
+    tid = b.global_tid_x()
+    off = b.mul(tid, 4)
+    x = b.load(b.add(b.param("A"), off))
+    y = b.load(b.add(b.param("B"), off))
+    b.store(b.add(b.param("O"), off), b.mad(x, b.param("a"), y))
+    kernel = b.build()
+
+Values returned by builder methods are operands; arithmetic helpers
+allocate fresh virtual registers.  Structured control flow comes from the
+``loop_counter``/``end_loop`` and ``if_then`` helpers, which lower to the
+same label/branch form the assembler produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import CmpOp, Instruction, MemSpace, Opcode
+from .kernel import Kernel
+from .operands import (
+    Immediate,
+    MemRef,
+    Operand,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+)
+
+
+def _operand(value) -> Operand:
+    if isinstance(value, (int, float)):
+        return Immediate(float(value))
+    if isinstance(value, (Register, PredReg, Immediate, SpecialReg, Param,
+                          MemRef)):
+        return value
+    raise TypeError(f"cannot use {value!r} as an operand")
+
+
+@dataclass
+class _LoopFrame:
+    counter: Register
+    bound: Operand
+    head_label: str
+    pred: PredReg
+
+
+class KernelBuilder:
+    """Accumulates instructions and produces a validated :class:`Kernel`."""
+
+    def __init__(self, name: str, params: tuple[str, ...] | list[str] = ()):
+        self.name = name
+        self.params = tuple(params)
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._next_reg = 0
+        self._next_pred = 0
+        self._next_label = 0
+        self._loops: list[_LoopFrame] = []
+
+    # ---- fresh names -----------------------------------------------------
+
+    def fresh(self, prefix: str = "v") -> Register:
+        self._next_reg += 1
+        return Register(f"{prefix}{self._next_reg}")
+
+    def fresh_pred(self) -> PredReg:
+        self._next_pred += 1
+        return PredReg(f"p{self._next_pred}")
+
+    def _fresh_label(self, prefix: str) -> str:
+        self._next_label += 1
+        return f"{prefix}_{self._next_label}"
+
+    # ---- emission ---------------------------------------------------------
+
+    def emit(self, inst: Instruction) -> None:
+        self._instructions.append(inst)
+
+    def label(self, name: str) -> str:
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    # ---- operands ----------------------------------------------------------
+
+    def param(self, name: str) -> Param:
+        if name not in self.params:
+            raise ValueError(f"undeclared parameter {name!r}")
+        return Param(name)
+
+    def tid(self, dim: str = "x") -> SpecialReg:
+        return SpecialReg("tid", dim)
+
+    def ntid(self, dim: str = "x") -> SpecialReg:
+        return SpecialReg("ntid", dim)
+
+    def ctaid(self, dim: str = "x") -> SpecialReg:
+        return SpecialReg("ctaid", dim)
+
+    def global_tid_x(self) -> Register:
+        """The canonical ``blockIdx.x*blockDim.x + threadIdx.x``."""
+        base = self.mul(self.ctaid("x"), self.ntid("x"))
+        return self.add(base, self.tid("x"), name="tid")
+
+    # ---- ALU helpers --------------------------------------------------------
+
+    def _binary(self, opcode: Opcode, a, b, name=None) -> Register:
+        dst = Register(name) if name else self.fresh()
+        self.emit(Instruction(opcode, dsts=(dst,),
+                              srcs=(_operand(a), _operand(b))))
+        return dst
+
+    def add(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.ADD, a, b, name)
+
+    def sub(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.SUB, a, b, name)
+
+    def mul(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.MUL, a, b, name)
+
+    def div(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.DIV, a, b, name)
+
+    def rem(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.REM, a, b, name)
+
+    def min(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.MIN, a, b, name)
+
+    def max(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.MAX, a, b, name)
+
+    def shl(self, a, b, name=None) -> Register:
+        return self._binary(Opcode.SHL, a, b, name)
+
+    def mad(self, a, b, c, name=None) -> Register:
+        dst = Register(name) if name else self.fresh()
+        self.emit(Instruction(Opcode.MAD, dsts=(dst,),
+                              srcs=(_operand(a), _operand(b), _operand(c))))
+        return dst
+
+    def mov(self, value, name=None) -> Register:
+        dst = Register(name) if name else self.fresh()
+        self.emit(Instruction(Opcode.MOV, dsts=(dst,),
+                              srcs=(_operand(value),)))
+        return dst
+
+    def assign(self, dst: Register, value) -> Register:
+        self.emit(Instruction(Opcode.MOV, dsts=(dst,),
+                              srcs=(_operand(value),)))
+        return dst
+
+    def unary(self, opcode: Opcode, a, name=None) -> Register:
+        dst = Register(name) if name else self.fresh()
+        self.emit(Instruction(opcode, dsts=(dst,), srcs=(_operand(a),)))
+        return dst
+
+    def setp(self, cmp: CmpOp, a, b) -> PredReg:
+        dst = self.fresh_pred()
+        self.emit(Instruction(Opcode.SETP, dsts=(dst,),
+                              srcs=(_operand(a), _operand(b)), cmp=cmp))
+        return dst
+
+    # ---- memory --------------------------------------------------------------
+
+    def load(self, address, displacement: int = 0,
+             space: MemSpace = MemSpace.GLOBAL, name=None) -> Register:
+        dst = Register(name) if name else self.fresh()
+        self.emit(Instruction(Opcode.LD, dsts=(dst,),
+                              srcs=(MemRef(_operand(address),
+                                           displacement),),
+                              space=space))
+        return dst
+
+    def store(self, address, value, displacement: int = 0,
+              space: MemSpace = MemSpace.GLOBAL) -> None:
+        self.emit(Instruction(Opcode.ST,
+                              dsts=(MemRef(_operand(address),
+                                           displacement),),
+                              srcs=(_operand(value),), space=space))
+
+    def atomic_add(self, address, value,
+                   space: MemSpace = MemSpace.GLOBAL) -> None:
+        self.emit(Instruction(Opcode.ATOM,
+                              dsts=(MemRef(_operand(address)),),
+                              srcs=(_operand(value),), space=space))
+
+    def barrier(self) -> None:
+        self.emit(Instruction(Opcode.BAR))
+
+    # ---- structured control flow ----------------------------------------
+
+    def loop_counter(self, bound, name: str = None) -> Register:
+        """Open ``for (i = 0; i < bound; i++)``; close with ``end_loop``."""
+        counter = self.mov(0, name=name or f"i{len(self._loops)}")
+        head = self.label(self._fresh_label("LOOP"))
+        self._loops.append(_LoopFrame(counter, _operand(bound), head,
+                                      self.fresh_pred()))
+        return counter
+
+    def end_loop(self) -> None:
+        frame = self._loops.pop()
+        self.emit(Instruction(Opcode.ADD, dsts=(frame.counter,),
+                              srcs=(frame.counter, Immediate(1.0))))
+        self.emit(Instruction(Opcode.SETP, dsts=(frame.pred,),
+                              srcs=(frame.counter, frame.bound),
+                              cmp=CmpOp.LT))
+        self.emit(Instruction(Opcode.BRA, guard=frame.pred,
+                              target=frame.head_label))
+
+    def if_then(self, pred: PredReg):
+        """Context manager: instructions inside execute under ``@pred``."""
+        builder = self
+
+        class _Guard:
+            def __enter__(self):
+                self.skip = builder._fresh_label("SKIP")
+                builder.emit(Instruction(Opcode.BRA, guard=pred,
+                                         guard_negated=True,
+                                         target=self.skip))
+                return builder
+
+            def __exit__(self, *exc):
+                builder.label(self.skip)
+                return False
+
+        return _Guard()
+
+    # ---- finish ------------------------------------------------------------
+
+    def build(self) -> Kernel:
+        instructions = list(self._instructions)
+        if not instructions or not instructions[-1].is_exit:
+            instructions.append(Instruction(Opcode.EXIT))
+        return Kernel(name=self.name, params=self.params,
+                      instructions=instructions, labels=dict(self._labels))

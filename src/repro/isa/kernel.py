@@ -1,0 +1,91 @@
+"""Kernel container: an instruction list plus labels and parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instruction, Opcode, validate
+from .operands import Param, Register
+
+
+@dataclass
+class Kernel:
+    """A compiled kernel: straight list of instructions with label targets.
+
+    ``labels`` maps a label name to the index of the instruction it precedes.
+    The final instruction must be ``exit`` (the assembler appends one if the
+    source does not end with it).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.instructions or not self.instructions[-1].is_exit:
+            raise ValueError(f"kernel {self.name!r} must end with exit")
+        for inst in self.instructions:
+            validate(inst)
+            if inst.is_branch and inst.target not in self.labels:
+                raise ValueError(
+                    f"branch to undefined label {inst.target!r} in "
+                    f"kernel {self.name!r}")
+        declared = set(self.params)
+        for inst in self.instructions:
+            for op in inst.reads():
+                if isinstance(op, Param) and op.name not in declared:
+                    raise ValueError(
+                        f"kernel {self.name!r} reads undeclared parameter "
+                        f"{op.name!r}")
+
+    # ---- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_at(self, index: int) -> str | None:
+        for label, target in self.labels.items():
+            if target == index:
+                return label
+        return None
+
+    def target_index(self, label: str) -> int:
+        return self.labels[label]
+
+    def registers(self) -> set[str]:
+        """All general-register names referenced by the kernel."""
+        regs: set[str] = set()
+        for inst in self.instructions:
+            for op in inst.reads() + inst.written_regs():
+                if isinstance(op, Register):
+                    regs.add(op.name)
+        return regs
+
+    def static_counts(self) -> dict[str, int]:
+        """Static instruction counts by Fig. 6 category."""
+        counts = {"arithmetic": 0, "memory": 0, "branch": 0}
+        for inst in self.instructions:
+            counts[inst.category] += 1
+        return counts
+
+    def has_barrier(self) -> bool:
+        return any(i.is_barrier for i in self.instructions)
+
+    # ---- printing ------------------------------------------------------
+
+    def source(self) -> str:
+        """Round-trippable assembly text."""
+        lines = [f".kernel {self.name} ({', '.join(self.params)})"]
+        for idx, inst in enumerate(self.instructions):
+            label = self.label_at(idx)
+            if label is not None:
+                lines.append(f"{label}:")
+            lines.append(f"    {inst}")
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.source()

@@ -1,0 +1,140 @@
+"""Operand classes for the mini PTX-like ISA.
+
+The ISA is register based.  An instruction reads *source operands* and writes
+*destination operands*.  Sources can be general registers, predicate
+registers, immediates, special (thread-geometry) registers, kernel
+parameters, or — after the DAC decoupling pass — dequeue tokens that pull
+expanded values out of the per-warp hardware queues (paper §4, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Dimension names used by special registers (threadIdx.x etc.).
+DIMS = ("x", "y", "z")
+
+#: The special register families and their CUDA equivalents.
+SPECIAL_FAMILIES = {
+    "tid": "threadIdx",
+    "ntid": "blockDim",
+    "ctaid": "blockIdx",
+    "nctaid": "gridDim",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Register:
+    """A general-purpose virtual register, e.g. ``r0`` or ``addrA``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _IDENT_RE.match(self.name):
+            raise ValueError(f"invalid register name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PredReg:
+    """A predicate (boolean) register, e.g. ``p0``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A literal constant.  Stored as float; integral values print as ints."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SpecialReg:
+    """A read-only thread-geometry register such as ``%tid.x``.
+
+    ``family`` is one of :data:`SPECIAL_FAMILIES`; ``dim`` is ``x``/``y``/``z``.
+    """
+
+    family: str
+    dim: str
+
+    def __post_init__(self) -> None:
+        if self.family not in SPECIAL_FAMILIES:
+            raise ValueError(f"unknown special register family: {self.family}")
+        if self.dim not in DIMS:
+            raise ValueError(f"unknown dimension: {self.dim}")
+
+    def __str__(self) -> str:
+        return f"%{self.family}.{self.dim}"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter, e.g. ``param.A``.  Parameters are scalar values
+    shared by every thread of the grid (pointers are byte addresses)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"param.{self.name}"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory reference ``[addr]`` or ``[addr+disp]`` used by ld/st."""
+
+    address: "Operand"
+    displacement: int = 0
+
+    def __str__(self) -> str:
+        if self.displacement:
+            return f"[{self.address}+{self.displacement}]"
+        return f"[{self.address}]"
+
+
+@dataclass(frozen=True)
+class DeqToken:
+    """A dequeue operand inserted by the decoupling compiler (paper Fig. 7b).
+
+    ``kind`` is ``data`` (global/local load serviced by the AEU), ``addr``
+    (store address record from the PWAQ), or ``pred`` (predicate bit vector
+    from the PWPQ).  ``queue_id`` pairs the token with the matching enqueue
+    instruction in the affine stream.
+    """
+
+    kind: str
+    queue_id: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("data", "addr", "pred"):
+            raise ValueError(f"bad deq kind: {self.kind}")
+
+    def __str__(self) -> str:
+        return f"deq.{self.kind}"
+
+
+Operand = Register | PredReg | Immediate | SpecialReg | Param | MemRef | DeqToken
+
+
+def is_readonly(op: Operand) -> bool:
+    """Whether the operand reads state that no instruction can write.
+
+    Special registers and parameters are immutable for the whole kernel
+    launch, which is what lets the affine warp run ahead of the non-affine
+    warps (paper §4, "the affine warp operates on read-only data").
+    """
+    return isinstance(op, (Immediate, SpecialReg, Param))

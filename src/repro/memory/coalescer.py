@@ -1,0 +1,46 @@
+"""Memory access coalescing: per-thread addresses -> unique cache lines.
+
+GPUs service one memory transaction per distinct cache line touched by a
+warp.  The coalescer is the baseline path; under DAC most loads instead take
+the AEU path, which produces line addresses directly from the affine tuple
+without ever materializing per-thread addresses (paper §4.2, Fig. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LINE_SIZE = 128
+LINE_SHIFT = 7          # log2(LINE_SIZE)
+
+
+def coalesce(addresses: np.ndarray, active: np.ndarray) -> list[int]:
+    """Unique line addresses for a warp access.
+
+    ``addresses`` are per-thread byte addresses; ``active`` is the
+    participation mask.  Returns line-aligned byte addresses in ascending
+    order (empty if no thread is active).
+    """
+    if not active.any():
+        return []
+    lines = np.unique(addresses[active].astype(np.int64) >> LINE_SHIFT)
+    return [int(a) << LINE_SHIFT for a in lines]
+
+
+def line_of(address: int) -> int:
+    """The line-aligned byte address containing ``address``."""
+    return (int(address) >> LINE_SHIFT) << LINE_SHIFT
+
+
+def word_mask(line_address: int, addresses: np.ndarray,
+              active: np.ndarray, granularity: int = 4) -> int:
+    """The AEU-style word bit mask for one line (paper Fig. 11 ④): bit *i*
+    set means word *i* of the 128-byte line is accessed by some thread."""
+    in_line = active & ((addresses.astype(np.int64) >> LINE_SHIFT)
+                        == (line_address >> LINE_SHIFT))
+    words = ((addresses[in_line].astype(np.int64) - line_address)
+             // granularity)
+    mask = 0
+    for w in np.unique(words):
+        mask |= 1 << int(w)
+    return mask

@@ -1,0 +1,32 @@
+"""Cycle-level SIMT GPU timing model (the GPGPU-sim substitute)."""
+
+from ..config import (
+    CacheConfig,
+    CAEConfig,
+    DACConfig,
+    DRAMConfig,
+    GPUConfig,
+    MTAConfig,
+)
+from ..stats import Stats
+from .executor import WarpExecutor, alu
+from .functional import (
+    FunctionalInterpreter,
+    FunctionalResult,
+    TraceEntry,
+    run_functional,
+)
+from .gpu import GPU, DeadlockError, RunResult, simulate
+from .launch import CTAState, GlobalMemory, KernelLaunch
+from .scheduler import Scheduler
+from .simt_stack import SIMTStack
+from .sm import SM
+from .warp import WarpContext
+
+__all__ = [
+    "CAEConfig", "CTAState", "CacheConfig", "DACConfig", "DRAMConfig",
+    "DeadlockError", "FunctionalInterpreter", "FunctionalResult", "GPU",
+    "GPUConfig", "GlobalMemory", "KernelLaunch", "MTAConfig", "RunResult",
+    "SIMTStack", "SM", "Scheduler", "Stats", "TraceEntry", "WarpContext",
+    "WarpExecutor", "alu", "run_functional", "simulate",
+]

@@ -1,0 +1,175 @@
+"""Top-level GPU: SMs + memory hierarchy + CTA dispatch + main loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.cfg import CFG
+from ..config import GPUConfig
+from ..events import EventQueue
+from ..memory.hierarchy import MemoryHierarchy
+from ..stats import Stats
+from .launch import KernelLaunch
+from .sm import SM
+
+
+class DeadlockError(RuntimeError):
+    """The machine can make no further progress (a modeling bug or a
+    mis-decoupled kernel)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one kernel launch."""
+
+    cycles: int
+    stats: Stats
+    config: GPUConfig
+    kernel_name: str
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def warp_instructions(self) -> float:
+        return self.stats["warp_instructions"]
+
+    @property
+    def ipc(self) -> float:
+        return self.stats["thread_instructions"] / max(1, self.cycles)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        return baseline.cycles / max(1, self.cycles)
+
+
+class GPU:
+    """A simulated GPU instance.  Create one per kernel launch."""
+
+    def __init__(self, config: GPUConfig, dac_program=None):
+        self.config = config
+        self.dac_program = dac_program
+        self.stats = Stats()
+        self.events = EventQueue()
+        self.hierarchy = MemoryHierarchy(config, self.events, self.stats)
+        self.sms = [self._make_sm(i) for i in range(config.num_sms)]
+        self._cfg_cache: dict[int, CFG] = {}
+        self._pending_blocks: list[tuple[int, int, int]] = []
+        self._launch: KernelLaunch | None = None
+
+    def _make_sm(self, index: int) -> SM:
+        technique = self.config.technique
+        if technique == "baseline":
+            return SM(self, index)
+        if technique == "cae":
+            from ..baselines.cae import CAESM
+            return CAESM(self, index)
+        if technique == "mta":
+            from ..baselines.mta import MTASM
+            return MTASM(self, index)
+        if technique == "dac":
+            from ..core.dac_sm import DACSM
+            return DACSM(self, index)
+        raise ValueError(f"unknown technique: {technique}")
+
+    # ---- shared analyses -------------------------------------------------
+
+    def cfg_of(self, kernel) -> CFG:
+        cfg = self._cfg_cache.get(id(kernel))
+        if cfg is None:
+            cfg = CFG(kernel)
+            self._cfg_cache[id(kernel)] = cfg
+        return cfg
+
+    def reconvergence(self, kernel, branch_index: int) -> int:
+        return self.cfg_of(kernel).reconvergence_pc(branch_index)
+
+    # ---- CTA dispatch -------------------------------------------------------
+
+    def _fill_sms(self) -> None:
+        progress = True
+        while self._pending_blocks and progress:
+            progress = False
+            for sm in self.sms:
+                if not self._pending_blocks:
+                    break
+                if sm.can_accept(self._launch):
+                    sm.assign_cta(self._launch, self._pending_blocks.pop(0))
+                    progress = True
+
+    def on_cta_complete(self, sm: SM) -> None:
+        if self._pending_blocks and sm.can_accept(self._launch):
+            sm.assign_cta(self._launch, self._pending_blocks.pop(0))
+
+    # ---- main loop ---------------------------------------------------------
+
+    def run(self, launch: KernelLaunch) -> RunResult:
+        if launch.warps_per_block > self.config.warps_per_sm:
+            raise ValueError("CTA needs more warp slots than an SM has")
+        self._launch = launch
+        self._pending_blocks = launch.block_indices()
+        self._fill_sms()
+
+        now = 0
+        idle_streak = 0
+        while True:
+            self.events.run_until(now)
+            issued = False
+            for sm in self.sms:
+                if sm.cycle(now):
+                    issued = True
+            if not self._pending_blocks and not any(sm.busy()
+                                                    for sm in self.sms):
+                break
+            if now >= self.config.max_cycles:
+                raise DeadlockError(
+                    f"exceeded max_cycles={self.config.max_cycles}")
+            if issued:
+                now += 1
+                idle_streak = 0
+                continue
+            # Nothing issued: fast-forward to the next time anything can
+            # change — an event, or a scheduler coming off its busy window.
+            candidates = []
+            next_event = self.events.next_time()
+            if next_event is not None:
+                candidates.append(max(next_event, now + 1))
+            for sm in self.sms:
+                if now < sm.lsu_free:
+                    candidates.append(sm.lsu_free)
+                for sched in sm.schedulers:
+                    if sched.warps and sched.busy_until > now:
+                        candidates.append(sched.busy_until)
+            if not candidates:
+                idle_streak += 1
+                if idle_streak > 4:
+                    raise DeadlockError(self._deadlock_report(now))
+                now += 1
+                continue
+            idle_streak = 0
+            now = min(candidates)
+
+        # Drain in-flight writes/events so the memory stats are complete
+        # (does not extend the reported cycle count).
+        while len(self.events):
+            self.events.run_until(self.events.next_time())
+
+        self.stats.add("cycles", now)
+        return RunResult(cycles=now, stats=self.stats, config=self.config,
+                         kernel_name=launch.kernel.name)
+
+    def _deadlock_report(self, now: int) -> str:
+        lines = [f"deadlock at cycle {now}"]
+        for sm in self.sms:
+            for warp in sm.warps:
+                inst = warp.launch.kernel.instructions[warp.pc] \
+                    if not warp.done else None
+                lines.append(
+                    f"  sm{sm.index} warp slot {warp.slot} "
+                    f"cta {warp.cta.block_idx} pc {warp.pc} "
+                    f"done={warp.done} barrier={warp.at_barrier} "
+                    f"pending={ {k: v for k, v in warp.pending.items() if v} } "
+                    f"inst={inst}")
+        return "\n".join(lines)
+
+
+def simulate(launch: KernelLaunch, config: GPUConfig) -> RunResult:
+    """Convenience one-call entry point."""
+    return GPU(config).run(launch)

@@ -1,0 +1,69 @@
+"""Warp schedulers: loose round-robin and two-level active (Table 1,
+Narasiman et al. [20])."""
+
+from __future__ import annotations
+
+
+class Scheduler:
+    """One of the SM's warp schedulers.
+
+    Each scheduler owns the warp slots with ``slot % num_schedulers ==
+    index`` and issues at most one warp instruction every
+    ``issue_interval`` cycles (a 32-thread warp issues over 16 lanes in two
+    cycles on the baseline, paper §5.1.1).
+
+    ``two_level`` keeps a small *active set*; warps that stall on memory are
+    demoted and replaced by ready pending warps, which concentrates issue
+    bandwidth and spreads memory latency (Narasiman et al.).
+    """
+
+    def __init__(self, sm, index: int, policy: str, active_size: int,
+                 issue_interval: int):
+        self.sm = sm
+        self.index = index
+        self.policy = policy
+        self.active_size = active_size
+        self.issue_interval = issue_interval
+        self.busy_until = 0
+        self.warps: list = []              # warps owned by this scheduler
+        self._rotation = 0
+
+    def add_warp(self, warp) -> None:
+        self.warps.append(warp)
+
+    def remove_warp(self, warp) -> None:
+        self.warps.remove(warp)
+
+    def _ordered(self) -> list:
+        n = len(self.warps)
+        if n == 0:
+            return []
+        rotated = (self.warps[self._rotation % n:]
+                   + self.warps[:self._rotation % n])
+        if self.policy != "two_level":
+            return rotated
+        active = rotated[:self.active_size]
+        pending = rotated[self.active_size:]
+        # Active warps first; stalled active warps fall behind ready pending
+        # warps naturally because try_issue skips them.
+        return active + pending
+
+    def tick(self, now: int) -> bool:
+        """Attempt one issue; returns True if an instruction issued."""
+        if now < self.busy_until or not self.warps:
+            return False
+        for warp in self._ordered():
+            # Position must be taken before issue: an exit instruction can
+            # retire the CTA and remove the warp from this scheduler.
+            position = self.warps.index(warp)
+            interval = self.sm.try_issue(warp, now, self)
+            if interval:
+                self.busy_until = now + interval
+                if self.policy == "two_level":
+                    # Keep issuing warps hot: rotate only past the issuer.
+                    self._rotation = (position + 1) % max(1, len(self.warps))
+                else:
+                    self._rotation = (self._rotation + 1) \
+                        % max(1, len(self.warps))
+                return True
+        return False

@@ -1,0 +1,264 @@
+"""Streaming Multiprocessor timing model.
+
+Per cycle each of the SM's schedulers issues at most one warp instruction
+from a ready warp (scoreboard + structural checks).  Values are computed at
+issue; the scoreboard and the memory hierarchy decide when dependents may
+issue.  Subclasses hook the issue path to add CAE, MTA, or DAC behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import Instruction, MemSpace, Opcode
+from ..memory.coalescer import coalesce
+from .launch import CTAState, KernelLaunch
+from .scheduler import Scheduler
+from .warp import WarpContext
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, gpu, index: int):
+        self.gpu = gpu
+        self.index = index
+        self.config = gpu.config
+        self.stats = gpu.stats
+        self.events = gpu.events
+        self.l1 = gpu.hierarchy.l1_of(index)
+        self.ctas: list[CTAState] = []
+        self.warps: list[WarpContext] = []
+        self._free_slots = list(range(self.config.warps_per_sm))
+        self.schedulers = [
+            Scheduler(self, i, self.config.scheduler,
+                      self.config.active_warps_per_scheduler,
+                      self.config.issue_interval)
+            for i in range(self.config.num_schedulers)
+        ]
+        self.lsu_free = 0
+
+    # ---- CTA management -------------------------------------------------
+
+    def can_accept(self, launch: KernelLaunch) -> bool:
+        return (len(self.ctas) < self.config.max_ctas_per_sm
+                and len(self._free_slots) >= launch.warps_per_block)
+
+    def assign_cta(self, launch: KernelLaunch,
+                   block_idx: tuple[int, int, int]) -> CTAState:
+        cta = CTAState(block_idx, launch)
+        self.ctas.append(cta)
+        for w in range(launch.warps_per_block):
+            slot = self._free_slots.pop(0)
+            warp = WarpContext(launch, cta, w, slot)
+            self.warps.append(warp)
+            self.schedulers[slot % len(self.schedulers)].add_warp(warp)
+        self.on_cta_assigned(cta)
+        return cta
+
+    def on_cta_assigned(self, cta: CTAState) -> None:
+        """Hook for DAC: start the affine-stream execution for this CTA."""
+
+    def _retire_cta(self, cta: CTAState) -> None:
+        for warp in [w for w in self.warps if w.cta is cta]:
+            self.warps.remove(warp)
+            self.schedulers[warp.slot % len(self.schedulers)] \
+                .remove_warp(warp)
+            self._free_slots.append(warp.slot)
+        self._free_slots.sort()
+        self.ctas.remove(cta)
+        self.on_cta_retired(cta)
+        self.gpu.on_cta_complete(self)
+
+    def on_cta_retired(self, cta: CTAState) -> None:
+        """Hook for DAC teardown (unlock leftover lines, clear queues)."""
+
+    # ---- main loop --------------------------------------------------------
+
+    def cycle(self, now: int) -> bool:
+        issued = False
+        for scheduler in self.schedulers:
+            if scheduler.tick(now):
+                issued = True
+        return issued
+
+    def busy(self) -> bool:
+        return bool(self.warps)
+
+    # ---- issue ------------------------------------------------------------
+
+    def try_issue(self, warp: WarpContext, now: int,
+                  scheduler: Scheduler) -> int:
+        """Issue the warp's next instruction if it is ready.  Returns the
+        number of cycles the scheduler is busy (0 = nothing issued)."""
+        if warp.done or warp.at_barrier:
+            return 0
+        inst = warp.launch.kernel.instructions[warp.pc]
+        if not warp.regs_ready(inst):
+            return 0
+        if inst.is_memory and inst.space is not MemSpace.SHARED \
+                and now < self.lsu_free:
+            return 0
+        if not self.extra_ready(warp, inst, now):
+            return 0
+        return self.issue(warp, inst, now)
+
+    def extra_ready(self, warp: WarpContext, inst: Instruction,
+                    now: int) -> bool:
+        """Hook: DAC dequeue-readiness checks (paper Fig. 9 ⑨)."""
+        return True
+
+    def issue(self, warp: WarpContext, inst: Instruction, now: int) -> int:
+        ex = warp.executor
+        mask = ex.guard_mask(inst, warp.stack.active_mask)
+        active = int(np.count_nonzero(mask))
+        self._count_issue(warp, inst, active)
+        warp.last_issue = now
+
+        if inst.is_exit:
+            self._do_exit(warp)
+        elif inst.is_barrier:
+            self._do_barrier(warp)
+        elif inst.is_branch:
+            self._do_branch(warp, inst, mask)
+        elif inst.is_memory:
+            self._do_memory(warp, inst, mask, now)
+            warp.stack.pc = warp.pc + 1
+        else:
+            self._do_alu(warp, inst, mask, now)
+            warp.stack.pc = warp.pc + 1
+        return self.issue_interval_for(warp, inst, now)
+
+    def issue_interval_for(self, warp: WarpContext, inst: Instruction,
+                           now: int) -> int:
+        """Hook: CAE issues affine instructions off the SIMT lanes in a
+        single cycle."""
+        return self.config.issue_interval
+
+    def _count_issue(self, warp: WarpContext, inst: Instruction,
+                     active: int) -> None:
+        stats = self.stats
+        stats.add("warp_instructions")
+        stats.add("thread_instructions", active)
+        stats.add(f"inst.{inst.category}")
+        nregs = len(inst.read_regs()) + len(inst.written_regs())
+        stats.add("rf_accesses", nregs * active)
+        if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
+            stats.add("sfu_ops" if inst.is_sfu else "alu_ops", active)
+
+    # ---- per-class execution ---------------------------------------------
+
+    def _do_exit(self, warp: WarpContext) -> None:
+        warp.done = True
+        cta = warp.cta
+        cta.warps_done += 1
+        if cta.warps_done == warp.launch.warps_per_block:
+            self._retire_cta(cta)
+
+    def _do_barrier(self, warp: WarpContext) -> None:
+        cta = warp.cta
+        warp.at_barrier = True
+        cta.barrier_count += 1
+        waiting = sum(1 for w in self.warps
+                      if w.cta is cta and not w.done)
+        if cta.barrier_count >= waiting:
+            cta.barrier_count = 0
+            cta.barrier_generation = getattr(cta, "barrier_generation", 0) + 1
+            for w in self.warps:
+                if w.cta is cta and w.at_barrier:
+                    w.at_barrier = False
+                    w.stack.pc = w.pc + 1
+            self.on_barrier_release(cta)
+
+    def on_barrier_release(self, cta: CTAState) -> None:
+        """Hook: the AEU resumes expansion for this CTA (paper §4.2)."""
+
+    def _do_branch(self, warp: WarpContext, inst: Instruction,
+                   mask: np.ndarray) -> None:
+        target = warp.launch.kernel.target_index(inst.target)
+        active = warp.stack.active_mask
+        if inst.guard is None:
+            warp.stack.pc = target
+            return
+        taken = mask
+        ntaken = active & ~mask
+        if not ntaken.any():
+            warp.stack.pc = target
+        elif not taken.any():
+            warp.stack.pc = warp.pc + 1
+        else:
+            self.stats.add("divergent_branches")
+            rpc = self.gpu.reconvergence(warp.launch.kernel, warp.pc)
+            warp.stack.diverge(taken, ntaken, target, warp.pc + 1, rpc)
+
+    def _do_alu(self, warp: WarpContext, inst: Instruction,
+                mask: np.ndarray, now: int) -> None:
+        warp.executor.execute_alu(inst, mask)
+        latency = (self.config.sfu_latency if inst.is_sfu
+                   else self.config.alu_latency)
+        dst = inst.dsts[0]
+        warp.acquire(dst.name)
+        self.events.schedule(now + latency,
+                             lambda t, w=warp, n=dst.name: w.release(n))
+        self.on_alu_executed(warp, inst, mask)
+
+    def on_alu_executed(self, warp: WarpContext, inst: Instruction,
+                        mask: np.ndarray) -> None:
+        """Hook: CAE affine-tag maintenance."""
+
+    def _do_memory(self, warp: WarpContext, inst: Instruction,
+                   mask: np.ndarray, now: int) -> None:
+        ref = inst.mem_ref()
+        ex = warp.executor
+        addrs = ex.addresses(ref)
+        if inst.space is MemSpace.SHARED:
+            self._do_shared(warp, inst, mask, addrs, now)
+            return
+        if inst.is_load:
+            ex.execute_load(inst, mask, addrs)
+            lines = coalesce(addrs, mask)
+            self.stats.add("gmem_loads")
+            self.stats.add("gmem_load_lines", len(lines))
+            if not lines:
+                return
+            self.lsu_free = now + len(lines)
+            dst = inst.dsts[0]
+            warp.acquire(dst.name)
+            warp.mem_pending += 1
+            state = {"remaining": len(lines)}
+
+            def on_line(t, state=state, w=warp, name=dst.name):
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    w.release(name)
+                    w.mem_pending -= 1
+
+            for line in lines:
+                self.issue_line_read(warp, inst, line, now, on_line)
+        else:
+            ex.execute_store(inst, mask, addrs)
+            lines = coalesce(addrs, mask)
+            self.stats.add("gmem_stores")
+            self.stats.add("gmem_store_lines", len(lines))
+            self.lsu_free = now + max(1, len(lines))
+            for line in lines:
+                self.l1.write(line, now)
+
+    def issue_line_read(self, warp: WarpContext, inst: Instruction,
+                        line: int, now: int, callback) -> None:
+        """Hook: MTA redirects through the prefetch buffer and trains the
+        stride tables here."""
+        self.l1.read(line, now, callback)
+
+    def _do_shared(self, warp: WarpContext, inst: Instruction,
+                   mask: np.ndarray, addrs: np.ndarray, now: int) -> None:
+        self.stats.add("shared_accesses")
+        if inst.is_load:
+            warp.executor.execute_load(inst, mask, addrs)
+            dst = inst.dsts[0]
+            warp.acquire(dst.name)
+            self.events.schedule(
+                now + self.config.shared_latency,
+                lambda t, w=warp, n=dst.name: w.release(n))
+        else:
+            warp.executor.execute_store(inst, mask, addrs)

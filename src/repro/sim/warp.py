@@ -1,0 +1,88 @@
+"""Per-warp execution state for the timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .executor import WarpExecutor
+from .launch import CTAState, KernelLaunch
+from .simt_stack import SIMTStack
+
+
+class WarpContext:
+    """One warp: SIMT stack, architectural registers, and scoreboard.
+
+    The scoreboard is a per-register count of outstanding writes; an
+    instruction may issue only when every register it reads or writes has a
+    zero count (in-order issue, stall-on-use).
+    """
+
+    __slots__ = (
+        "launch", "cta", "warp_in_cta", "slot", "width", "tx", "ty", "tz",
+        "initial_mask", "stack", "regs", "preds", "pending", "mem_pending",
+        "done", "at_barrier", "executor", "cae_stride", "last_issue",
+        "pwaq", "pwpq",            # DAC per-warp queues (attached by DACSM)
+    )
+
+    def __init__(self, launch: KernelLaunch, cta: CTAState,
+                 warp_in_cta: int, slot: int, width: int = 32):
+        self.launch = launch
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.slot = slot                    # hardware warp slot on the SM
+        self.width = width
+        bx, by, bz = launch.block_dim
+        linear = np.arange(warp_in_cta * width, (warp_in_cta + 1) * width)
+        self.initial_mask = linear < launch.threads_per_block
+        linear = np.minimum(linear, launch.threads_per_block - 1)
+        self.tx = (linear % bx).astype(np.float64)
+        self.ty = ((linear // bx) % by).astype(np.float64)
+        self.tz = (linear // (bx * by)).astype(np.float64)
+        self.stack = SIMTStack(self.initial_mask)
+        self.regs: dict[str, np.ndarray] = {}
+        self.preds: dict[str, np.ndarray] = {}
+        self.pending: dict[str, int] = {}
+        self.mem_pending = 0                # outstanding load instructions
+        self.done = False
+        self.at_barrier = False
+        self.executor = WarpExecutor(self)
+        self.cae_stride: dict[str, float | None] = {}
+        self.last_issue = 0
+
+    # ---- geometry --------------------------------------------------------
+
+    def special(self, family: str, dim: str):
+        if family == "tid":
+            return {"x": self.tx, "y": self.ty, "z": self.tz}[dim]
+        axis = "xyz".index(dim)
+        if family == "ntid":
+            return float(self.launch.block_dim[axis])
+        if family == "ctaid":
+            return float(self.cta.block_idx[axis])
+        if family == "nctaid":
+            return float(self.launch.grid_dim[axis])
+        raise ValueError(f"unknown special register %{family}.{dim}")
+
+    @property
+    def pc(self) -> int:
+        return self.stack.pc
+
+    # ---- scoreboard --------------------------------------------------------
+
+    def acquire(self, name: str) -> None:
+        self.pending[name] = self.pending.get(name, 0) + 1
+
+    def release(self, name: str) -> None:
+        self.pending[name] -= 1
+
+    def regs_ready(self, inst) -> bool:
+        pending = self.pending
+        if not pending:
+            return True
+        for op in inst.read_regs():
+            if pending.get(op.name, 0):
+                return False
+        for op in inst.written_regs():
+            if pending.get(op.name, 0):
+                return False
+        return True

@@ -1,0 +1,17 @@
+"""The 29 benchmark workloads (paper Table 2)."""
+
+from .base import Benchmark, SCALES
+from .registry import (
+    ALL_BENCHMARKS,
+    BY_ABBR,
+    COMPUTE_ORDER,
+    MEMORY_ORDER,
+    by_category,
+    get,
+    table2,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS", "BY_ABBR", "Benchmark", "COMPUTE_ORDER",
+    "MEMORY_ORDER", "SCALES", "by_category", "get", "table2",
+]

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the 29 benchmark kernels (paper Table 2).
+
+Each benchmark is a synthetic kernel with the same access / compute /
+control *structure* as its namesake (see DESIGN.md's substitution table):
+the affine-vs-indirect mix of its addresses, its loop shapes, its use of
+shared memory and barriers, and its ALU-to-load ratio.  Inputs are
+deterministic (fixed seeds) so runs are reproducible and techniques can be
+compared on identical memory images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..isa import Kernel, parse_kernel
+from ..sim.launch import GlobalMemory, KernelLaunch
+
+#: Grid-size presets.  ``tiny`` keeps unit/integration tests fast; ``paper``
+#: is what the experiment harness and benches run.
+SCALES = ("tiny", "paper")
+
+#: Standard prologue: the global thread id along x (paper Fig. 4b).
+TID_X = """
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+"""
+
+#: 2-D global coordinates for stencil kernels.
+TID_XY = """
+    mul r0, %ctaid.x, %ntid.x;
+    add gx, %tid.x, r0;
+    mul r1, %ctaid.y, %ntid.y;
+    add gy, %tid.y, r1;
+"""
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Table 2 benchmark."""
+
+    abbr: str
+    name: str
+    suite: str                    # G / R / C / P as in Table 2
+    category: str                 # 'compute' or 'memory'
+    build: Callable[[str], KernelLaunch]
+    description: str = ""
+
+    def launch(self, scale: str = "paper") -> KernelLaunch:
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; use one of {SCALES}")
+        return self.build(scale)
+
+
+def rng_for(abbr: str) -> np.random.Generator:
+    seed = int.from_bytes(abbr.encode(), "little") % (2 ** 31)
+    return np.random.default_rng(seed)
+
+
+def kernel(source: str, name: str, params: tuple[str, ...]) -> Kernel:
+    return parse_kernel(source, name=name, params=params)
+
+
+def pick(scale: str, tiny, paper):
+    return tiny if scale == "tiny" else paper

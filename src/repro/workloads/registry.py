@@ -1,0 +1,44 @@
+"""Benchmark registry: the paper's Table 2."""
+
+from __future__ import annotations
+
+from .base import Benchmark
+from .compute import COMPUTE_BENCHMARKS
+from .memory import MEMORY_BENCHMARKS
+
+ALL_BENCHMARKS: list[Benchmark] = COMPUTE_BENCHMARKS + MEMORY_BENCHMARKS
+
+BY_ABBR: dict[str, Benchmark] = {b.abbr: b for b in ALL_BENCHMARKS}
+
+#: Presentation order used by the paper's figures.
+MEMORY_ORDER = ["BFS", "BT", "CFD", "CS", "HI", "IMG", "KM", "LBM", "LIB",
+                "LUD", "MC", "MT", "SC", "SG", "SP", "SPV", "SR2", "ST"]
+COMPUTE_ORDER = ["AES", "BP", "BS", "CP", "FFT", "HS", "MQ", "PF", "SR1",
+                 "STO", "TP"]
+
+
+def get(abbr: str) -> Benchmark:
+    try:
+        return BY_ABBR[abbr.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbr!r}; known: "
+            f"{', '.join(sorted(BY_ABBR))}") from None
+
+
+def by_category(category: str) -> list[Benchmark]:
+    if category not in ("compute", "memory"):
+        raise ValueError("category must be 'compute' or 'memory'")
+    order = COMPUTE_ORDER if category == "compute" else MEMORY_ORDER
+    return [BY_ABBR[a] for a in order]
+
+
+def table2() -> str:
+    """Render Table 2."""
+    lines = ["Compute Intensive"]
+    for b in by_category("compute"):
+        lines.append(f"  {b.abbr:4s} {b.name:28s} {b.suite}")
+    lines.append("Memory Intensive")
+    for b in by_category("memory"):
+        lines.append(f"  {b.abbr:4s} {b.name:28s} {b.suite}")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Tests for affine op dispatch, predicates, and the type lattice."""
+
+import numpy as np
+import pytest
+
+from repro.affine import (
+    AffineError,
+    AffinePredicate,
+    AffineTuple,
+    ClampExpr,
+    OperandClass,
+    apply_op,
+    join,
+    leaf_class,
+    result_class,
+    scalar,
+)
+from repro.isa import (
+    CmpOp,
+    Immediate,
+    MemRef,
+    Opcode,
+    Param,
+    Register,
+    SpecialReg,
+)
+
+TX = np.arange(32, dtype=np.float64)
+TY = np.zeros(32)
+TZ = np.zeros(32)
+TID = AffineTuple(0.0, (1.0, 0.0, 0.0))
+
+
+class TestApplyOp:
+    def test_paper_example_chain(self):
+        # Fig. 4b: mul r1, tid, 4; add addrA, A[], r1
+        r1 = apply_op(Opcode.MUL, [TID, scalar(4)])
+        addr = apply_op(Opcode.ADD, [r1, scalar(0x80000)])
+        assert addr.base == 0x80000 and addr.offsets[0] == 4.0
+
+    def test_mad(self):
+        out = apply_op(Opcode.MAD, [TID, scalar(4), scalar(100)])
+        np.testing.assert_array_equal(out.evaluate(TX, TY, TZ),
+                                      4 * TX + 100)
+
+    def test_rem_produces_mod_tuple(self):
+        out = apply_op(Opcode.REM, [apply_op(Opcode.MUL, [TID, scalar(4)]),
+                                    scalar(64)])
+        assert out.is_mod
+
+    def test_min_scalar_folds(self):
+        assert apply_op(Opcode.MIN, [scalar(3), scalar(7)]).scalar_value == 3
+
+    def test_min_affine_builds_clamp(self):
+        out = apply_op(Opcode.MIN, [TID, scalar(7)])
+        assert isinstance(out, ClampExpr)
+
+    def test_clamp_nesting_limit(self):
+        one = apply_op(Opcode.MIN, [TID, scalar(7)])
+        two = apply_op(Opcode.MAX, [one, scalar(0)])
+        with pytest.raises(AffineError):
+            apply_op(Opcode.MIN, [two, scalar(5)])
+
+    def test_bitwise_scalar_only(self):
+        assert apply_op(Opcode.AND, [scalar(12), scalar(10)]) \
+            .scalar_value == 8
+        with pytest.raises(AffineError):
+            apply_op(Opcode.AND, [TID, scalar(1)])
+
+    def test_setp_returns_predicate(self):
+        pred = apply_op(Opcode.SETP, [TID, scalar(16)], cmp=CmpOp.LT)
+        assert isinstance(pred, AffinePredicate)
+
+    def test_selp_scalar_predicate(self):
+        pred = apply_op(Opcode.SETP, [scalar(1), scalar(2)], cmp=CmpOp.LT)
+        out = apply_op(Opcode.SELP, [scalar(10), scalar(20), pred])
+        assert out.scalar_value == 10
+
+    def test_selp_nonscalar_predicate_rejected(self):
+        pred = apply_op(Opcode.SETP, [TID, scalar(2)], cmp=CmpOp.LT)
+        with pytest.raises(AffineError):
+            apply_op(Opcode.SELP, [scalar(10), scalar(20), pred])
+
+    def test_div_never_affine(self):
+        with pytest.raises(AffineError):
+            apply_op(Opcode.DIV, [scalar(10), scalar(2)])
+
+
+class TestPredicates:
+    def test_scalar_predicate(self):
+        pred = AffinePredicate(CmpOp.NE, scalar(4), scalar(8))
+        assert pred.is_scalar and pred.scalar_value
+
+    def test_negated(self):
+        pred = AffinePredicate(CmpOp.LT, TID, scalar(16))
+        np.testing.assert_array_equal(pred.negated().evaluate(TX, TY, TZ),
+                                      ~pred.evaluate(TX, TY, TZ))
+
+    def test_endpoint_uniform_true(self):
+        pred = AffinePredicate(CmpOp.LT, TID, scalar(100))
+        assert pred.endpoint_uniform((0, 0, 0), (31, 0, 0)) is True
+
+    def test_endpoint_mixed(self):
+        pred = AffinePredicate(CmpOp.LT, TID, scalar(16))
+        assert pred.endpoint_uniform((0, 0, 0), (31, 0, 0)) is None
+
+    def test_endpoint_not_applicable_for_mod(self):
+        mod = AffineTuple(0, (4, 0, 0)).mod(scalar(64))
+        pred = AffinePredicate(CmpOp.LT, mod, scalar(32))
+        assert not pred.endpoint_applicable()
+
+    def test_endpoint_eq_requires_scalars(self):
+        pred = AffinePredicate(CmpOp.NE, TID, scalar(5))
+        assert not pred.endpoint_applicable()
+        pred2 = AffinePredicate(CmpOp.NE, scalar(4), scalar(5))
+        assert pred2.endpoint_applicable()
+
+
+class TestLattice:
+    def test_join(self):
+        assert join(OperandClass.SCALAR, OperandClass.AFFINE) \
+            is OperandClass.AFFINE
+        assert join() is OperandClass.SCALAR
+
+    def test_leaf_classes(self):
+        assert leaf_class(Immediate(3)) is OperandClass.SCALAR
+        assert leaf_class(Param("n")) is OperandClass.SCALAR
+        assert leaf_class(SpecialReg("tid", "x")) is OperandClass.AFFINE
+        assert leaf_class(SpecialReg("ctaid", "x")) is OperandClass.SCALAR
+        assert leaf_class(MemRef(Register("r"))) is OperandClass.NONAFFINE
+        assert leaf_class(Register("r")) is None
+
+    def test_mul_affine_affine_is_nonaffine(self):
+        out = result_class(Opcode.MUL,
+                           [OperandClass.AFFINE, OperandClass.AFFINE])
+        assert out is OperandClass.NONAFFINE
+
+    def test_mul_affine_scalar_is_affine(self):
+        out = result_class(Opcode.MUL,
+                           [OperandClass.AFFINE, OperandClass.SCALAR])
+        assert out is OperandClass.AFFINE
+
+    def test_load_is_nonaffine(self):
+        assert result_class(Opcode.LD, [OperandClass.AFFINE]) \
+            is OperandClass.NONAFFINE
+
+    def test_sfu_not_affine_capable(self):
+        assert result_class(Opcode.SIN, [OperandClass.SCALAR]) \
+            is OperandClass.NONAFFINE
+
+    def test_rem_needs_scalar_divisor(self):
+        assert result_class(Opcode.REM, [OperandClass.AFFINE,
+                                         OperandClass.AFFINE]) \
+            is OperandClass.NONAFFINE
+        assert result_class(Opcode.REM, [OperandClass.AFFINE,
+                                         OperandClass.SCALAR]) \
+            is OperandClass.AFFINE
+
+    def test_shr_scalar_only(self):
+        assert result_class(Opcode.SHR, [OperandClass.AFFINE,
+                                         OperandClass.SCALAR]) \
+            is OperandClass.NONAFFINE
+        assert result_class(Opcode.SHR, [OperandClass.SCALAR,
+                                         OperandClass.SCALAR]) \
+            is OperandClass.SCALAR
+
+    def test_lattice_matches_runtime(self):
+        """Anything the lattice calls affine must evaluate in tuple form —
+        spot-check the rules the compiler relies on."""
+        cases = [
+            (Opcode.ADD, [TID, scalar(4)], None),
+            (Opcode.MAD, [TID, scalar(4), scalar(1)], None),
+            (Opcode.REM, [TID, scalar(8)], None),
+            (Opcode.MIN, [TID, scalar(8)], None),
+            (Opcode.SETP, [TID, scalar(8)], CmpOp.LT),
+        ]
+        for opcode, args, cmp in cases:
+            classes = [OperandClass.AFFINE if not a.is_scalar
+                       else OperandClass.SCALAR
+                       for a in args]
+            assert result_class(opcode, classes, cmp) \
+                is not OperandClass.NONAFFINE
+            apply_op(opcode, args, cmp)       # must not raise

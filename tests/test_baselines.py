@@ -1,0 +1,215 @@
+"""Tests for the CAE and MTA baseline techniques."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cae import _value_stride
+from repro.baselines.mta import PrefetchBuffer
+from repro.isa import parse_kernel
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, simulate
+
+CFG = GPUConfig(num_sms=1)
+
+
+def _run(source, setup, grid=(1, 1, 1), block=(64, 1, 1), technique="cae",
+         config=CFG):
+    mem = GlobalMemory(1 << 20)
+    params = setup(mem)
+    kernel = parse_kernel(source, name="t", params=tuple(params))
+    launch = KernelLaunch(kernel, grid, block, params, mem)
+    result = simulate(launch, config.with_technique(technique))
+    return result, mem, params
+
+
+class TestValueStride:
+    def test_scalar(self):
+        assert _value_stride(5.0) == 0.0
+        assert _value_stride(np.full(32, 7.0)) == 0.0
+
+    def test_affine(self):
+        assert _value_stride(np.arange(32) * 4.0) == 4.0
+
+    def test_non_affine(self):
+        values = np.arange(32, dtype=float)
+        values[7] = 100.0
+        assert _value_stride(values) is None
+
+
+class TestCAE:
+    def test_detects_affine_chain(self):
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            mul r1, tid, 4;
+            add addr, param.O, r1;
+            st.global [addr], tid;
+        """
+        result, mem, params = _run(src, lambda m: dict(O=m.alloc(64)))
+        # mul/add/mul/add are all affine-eligible; the store is not.
+        assert result.stats["cae.affine_instructions"] == 2 * 4
+
+    def test_loads_break_the_tag(self):
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            mul r1, tid, 4;
+            add addr, param.X, r1;
+            ld.global v, [addr];
+            add w, v, 1;
+            add oaddr, param.O, r1;
+            st.global [oaddr], w;
+        """
+
+        def setup(mem):
+            return dict(X=mem.alloc_array(np.arange(64) ** 2),
+                        O=mem.alloc(64))
+
+        result, mem, params = _run(src, setup)
+        # 'add w, v, 1' consumes a loaded (non-affine) value.
+        # Affine: mul, add, mul, add, add(oaddr) = 5 per warp.
+        assert result.stats["cae.affine_instructions"] == 2 * 5
+        got = mem.read_array(params["O"], 64)
+        np.testing.assert_array_equal(got, np.arange(64) ** 2 + 1)
+
+    def test_no_affine_after_divergence(self):
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            setp.lt p0, tid, 16;
+            @!p0 bra SKIP;
+            mul r1, tid, 4;
+        SKIP:
+            mul r2, tid, 4;
+            add oaddr, param.O, r2;
+            st.global [oaddr], tid;
+        """
+        result, mem, params = _run(src, lambda m: dict(O=m.alloc(64)))
+        # 'mul r1' executes under divergence in warp 0 - not affine there.
+        # Warp 1 skips it entirely (uniform branch).
+        # Eligible per warp: mul r0, add tid, setp, mul r2, add oaddr = 5.
+        # Warp 0's 'mul r1' runs under divergence and must NOT be counted
+        # (it would make the total 11).
+        assert result.stats["cae.affine_instructions"] == 2 * 5
+
+    def test_sub32_block_dimension_defeats_stride(self):
+        """BP-style 16-wide rows: tid.y varies within the warp so row-major
+        products are not a single arithmetic sequence (paper §5.4)."""
+        src = """
+            mul r1, %tid.y, 100;
+            add v, r1, %tid.x;
+            mul r2, v, 4;
+            add oaddr, param.O, r2;
+            st.global [oaddr], v;
+        """
+        result, mem, params = _run(src, lambda m: dict(O=m.alloc(1024)),
+                                   block=(16, 4, 1))
+        # v = 100*ty + tx has a stride discontinuity at lane 16.
+        assert result.stats["cae.affine_instructions"] == 0
+
+    def test_faster_than_baseline_on_affine_heavy_kernel(self):
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            mov acc, 0;
+            mov i, 0;
+        LOOP:
+            mul r1, i, 8;
+            add r2, r1, tid;
+            mul r3, r2, 2;
+            add r4, r3, i;
+            add acc, acc, r4;
+            add i, i, 1;
+            setp.lt p0, i, 32;
+            @p0 bra LOOP;
+            mul r5, tid, 4;
+            add oaddr, param.O, r5;
+            st.global [oaddr], acc;
+        """
+
+        def setup(mem):
+            return dict(O=mem.alloc(512))
+
+        base, mem0, p0 = _run(src, setup, grid=(8, 1, 1),
+                              technique="baseline")
+        cae, mem1, p1 = _run(src, setup, grid=(8, 1, 1), technique="cae")
+        np.testing.assert_array_equal(mem0.words, mem1.words)
+        assert cae.cycles < base.cycles
+
+
+class TestPrefetchBuffer:
+    def test_insert_fill_use(self):
+        buf = PrefetchBuffer(2)
+        buf.insert_pending(0x1000)
+        assert 0x1000 in buf
+        assert not buf.state(0x1000)["ready"]
+        buf.fill(0x1000)
+        assert buf.state(0x1000)["ready"]
+        buf.mark_used(0x1000)
+        assert buf.state(0x1000)["used"]
+
+    def test_fifo_eviction(self):
+        buf = PrefetchBuffer(2)
+        buf.insert_pending(1)
+        buf.insert_pending(2)
+        evicted = buf.insert_pending(3)
+        assert [v["line"] for v in evicted] == [1]
+        assert 1 not in buf and 2 in buf and 3 in buf
+
+    def test_eviction_preserves_waiters(self):
+        buf = PrefetchBuffer(1)
+        buf.insert_pending(1)
+        buf.state(1)["waiters"].append("cb")
+        evicted = buf.insert_pending(2)
+        assert evicted[0]["waiters"] == ["cb"]
+
+    def test_fill_after_eviction_is_noop(self):
+        buf = PrefetchBuffer(1)
+        buf.insert_pending(1)
+        buf.insert_pending(2)
+        assert buf.fill(1) == []
+
+
+class TestMTA:
+    STREAM = """
+        mul r0, %ctaid.x, %ntid.x;
+        add tid, %tid.x, r0;
+        mov acc, 0;
+        mov i, 0;
+    LOOP:
+        mul r1, i, param.nb;
+        mul r2, tid, 4;
+        add r3, r1, r2;
+        add a1, param.X, r3;
+        ld.global v, [a1];
+        add acc, acc, v;
+        add i, i, 1;
+        setp.lt p0, i, 24;
+        @p0 bra LOOP;
+        mul r4, tid, 4;
+        add oaddr, param.O, r4;
+        st.global [oaddr], acc;
+    """
+
+    def _setup(self, mem):
+        return dict(X=mem.alloc_array(np.arange(128 * 24)),
+                    O=mem.alloc(128), nb=128 * 4)
+
+    def test_prefetches_issued_and_useful(self):
+        result, mem, params = self._run_stream("mta")
+        assert result.stats["mta.prefetches"] > 0
+        assert result.stats["mta.buffer_hits"] > 0
+
+    def test_functionally_identical_to_baseline(self):
+        base, mem0, _ = self._run_stream("baseline")
+        mta, mem1, _ = self._run_stream("mta")
+        np.testing.assert_array_equal(mem0.words, mem1.words)
+
+    def test_speeds_up_streaming(self):
+        base, _, _ = self._run_stream("baseline")
+        mta, _, _ = self._run_stream("mta")
+        assert mta.cycles < base.cycles
+
+    def _run_stream(self, technique):
+        return _run(self.STREAM, self._setup, grid=(2, 1, 1),
+                    block=(64, 1, 1), technique=technique,
+                    config=GPUConfig(num_sms=1))

@@ -1,0 +1,145 @@
+"""Tests for the programmatic kernel builder."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import decouple, verify
+from repro.isa import CmpOp, MemSpace, Opcode
+from repro.isa.builder import KernelBuilder
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, run_functional, \
+    simulate
+from repro.core import run_dac
+
+CFG = GPUConfig(num_sms=1)
+
+
+def _saxpy():
+    b = KernelBuilder("saxpy", params=("A", "B", "O", "a"))
+    tid = b.global_tid_x()
+    off = b.mul(tid, 4)
+    x = b.load(b.add(b.param("A"), off))
+    y = b.load(b.add(b.param("B"), off))
+    b.store(b.add(b.param("O"), off), b.mad(x, b.param("a"), y))
+    return b.build()
+
+
+class TestBuilder:
+    def test_saxpy_builds_and_runs(self):
+        kernel = _saxpy()
+        mem = GlobalMemory(1 << 20)
+        a = mem.alloc_array(np.arange(64))
+        b_ = mem.alloc_array(np.arange(64) * 10)
+        o = mem.alloc(64)
+        launch = KernelLaunch(kernel, (1, 1, 1), (64, 1, 1),
+                              dict(A=a, B=b_, O=o, a=3), mem)
+        run_functional(launch)
+        np.testing.assert_array_equal(mem.read_array(o, 64),
+                                      np.arange(64) * 13)
+
+    def test_built_kernel_decouples_and_verifies(self):
+        program = decouple(_saxpy())
+        assert program.decoupled_loads == 2
+        assert program.decoupled_stores == 1
+        assert verify(program).ok
+
+    def test_built_kernel_runs_under_dac(self):
+        kernel = _saxpy()
+        mem = GlobalMemory(1 << 20)
+        a = mem.alloc_array(np.arange(64))
+        b_ = mem.alloc_array(np.arange(64) * 10)
+        o = mem.alloc(64)
+        launch = KernelLaunch(kernel, (1, 1, 1), (64, 1, 1),
+                              dict(A=a, B=b_, O=o, a=3), mem)
+        run_dac(launch, CFG)
+        np.testing.assert_array_equal(mem.read_array(o, 64),
+                                      np.arange(64) * 13)
+
+    def test_loop_helper(self):
+        b = KernelBuilder("looped", params=("O",))
+        tid = b.global_tid_x()
+        acc = b.mov(0, name="acc")
+        i = b.loop_counter(10)
+        b.assign(acc, b.add(acc, i))
+        b.end_loop()
+        b.store(b.add(b.param("O"), b.mul(tid, 4)), acc)
+        kernel = b.build()
+        mem = GlobalMemory(1 << 20)
+        o = mem.alloc(32)
+        launch = KernelLaunch(kernel, (1, 1, 1), (32, 1, 1),
+                              dict(O=o), mem)
+        run_functional(launch)
+        np.testing.assert_array_equal(mem.read_array(o, 32),
+                                      np.full(32, 45.0))
+
+    def test_if_then_helper(self):
+        b = KernelBuilder("guarded", params=("O",))
+        tid = b.global_tid_x()
+        v = b.mov(1, name="v")
+        pred = b.setp(CmpOp.LT, tid, 16)
+        with b.if_then(pred):
+            b.assign(v, 99)
+        b.store(b.add(b.param("O"), b.mul(tid, 4)), v)
+        kernel = b.build()
+        mem = GlobalMemory(1 << 20)
+        o = mem.alloc(32)
+        launch = KernelLaunch(kernel, (1, 1, 1), (32, 1, 1),
+                              dict(O=o), mem)
+        run_functional(launch)
+        expected = np.where(np.arange(32) < 16, 99.0, 1.0)
+        np.testing.assert_array_equal(mem.read_array(o, 32), expected)
+
+    def test_nested_loops(self):
+        b = KernelBuilder("nest", params=("O",))
+        tid = b.global_tid_x()
+        acc = b.mov(0, name="acc")
+        b.loop_counter(3)
+        b.loop_counter(4)
+        b.assign(acc, b.add(acc, 1))
+        b.end_loop()
+        b.end_loop()
+        b.store(b.add(b.param("O"), b.mul(tid, 4)), acc)
+        mem = GlobalMemory(1 << 20)
+        o = mem.alloc(32)
+        launch = KernelLaunch(b.build(), (1, 1, 1), (32, 1, 1),
+                              dict(O=o), mem)
+        run_functional(launch)
+        np.testing.assert_array_equal(mem.read_array(o, 32),
+                                      np.full(32, 12.0))
+
+    def test_shared_and_barrier(self):
+        b = KernelBuilder("sh", params=("O",))
+        off = b.mul(b.tid("x"), 4)
+        b.store(off, b.tid("x"), space=MemSpace.SHARED)
+        b.barrier()
+        flipped = b.sub(124, off)
+        v = b.load(flipped, space=MemSpace.SHARED)
+        b.store(b.add(b.param("O"), off), v)
+        mem = GlobalMemory(1 << 20)
+        o = mem.alloc(32)
+        launch = KernelLaunch(b.build(), (1, 1, 1), (32, 1, 1),
+                              dict(O=o), mem, shared_words=32)
+        run_functional(launch)
+        np.testing.assert_array_equal(mem.read_array(o, 32),
+                                      np.arange(32)[::-1])
+
+    def test_undeclared_param_rejected(self):
+        b = KernelBuilder("bad", params=("A",))
+        with pytest.raises(ValueError):
+            b.param("B")
+
+    def test_source_round_trip(self):
+        from repro.isa import parse_kernel
+        kernel = _saxpy()
+        reparsed = parse_kernel(kernel.source())
+        assert [str(i) for i in reparsed.instructions] == \
+            [str(i) for i in kernel.instructions]
+
+    def test_builder_vs_simulator_timing_path(self):
+        kernel = _saxpy()
+        mem = GlobalMemory(1 << 20)
+        launch = KernelLaunch(kernel, (2, 1, 1), (64, 1, 1),
+                              dict(A=mem.alloc_array(np.zeros(128)),
+                                   B=mem.alloc_array(np.ones(128)),
+                                   O=mem.alloc(128), a=2), mem)
+        result = simulate(launch, CFG)
+        assert result.cycles > 0

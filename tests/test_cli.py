@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "LIB"])
+        assert args.technique == "dac"
+        assert args.scale == "tiny"
+
+    def test_bad_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "LIB", "--technique", "x"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Compute Intensive" in out and "BFS" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "GTX480" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        assert "Overhead" in capsys.readouterr().out
+
+    def test_run_baseline(self, capsys):
+        assert main(["run", "CS", "--technique", "baseline",
+                     "--sms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "warp instructions" in out
+
+    def test_run_dac_with_stats(self, capsys):
+        assert main(["run", "CS", "--sms", "2", "--stats", "dac."]) == 0
+        out = capsys.readouterr().out
+        assert "affine warp insts" in out
+        assert "dac.records" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "CS", "--sms", "2"]) == 0
+        out = capsys.readouterr().out
+        for technique in ("baseline", "cae", "mta", "dac"):
+            assert technique in out
+
+    def test_decouple_benchmark(self, capsys):
+        assert main(["decouple", "LIB"]) == 0
+        out = capsys.readouterr().out
+        assert "enq.data" in out and "deq.data" in out
+        assert "verified" in out
+
+    def test_decouple_file(self, tmp_path, capsys):
+        path = tmp_path / "k.asm"
+        path.write_text("""
+            .kernel t (A)
+            mul r1, %tid.x, 4;
+            add a1, param.A, r1;
+            ld.global v, [a1];
+            st.global [a1], v;
+        """)
+        assert main(["decouple", "--file", str(path)]) == 0
+        assert "decoupled" in capsys.readouterr().out
+
+    def test_decouple_requires_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["decouple"])
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99", "--sms", "2"]) == 2
+
+    def test_figures_fig6(self, capsys):
+        assert main(["figures", "fig6", "--sms", "2"]) == 0
+        assert "Figure 6" in capsys.readouterr().out

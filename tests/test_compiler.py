@@ -1,0 +1,328 @@
+"""Tests for the compiler: CFG, reaching definitions, affine analysis, and
+the decoupling transform (paper §4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.affine import OperandClass
+from repro.compiler.affine_analysis import AffineAnalysis
+from repro.compiler.cfg import CFG
+from repro.compiler.dataflow import ReachingDefs
+from repro.compiler.decouple import decouple
+from repro.isa import DeqToken, Opcode, Register, parse_kernel
+
+#: The paper's running example (Fig. 4b).
+PAPER_KERNEL = parse_kernel("""
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+    mul r1, tid, 4;
+    add addrA, param.A, r1;
+    add addrB, param.B, r1;
+    mov i, 0;
+LOOP:
+    ld.global tmp, [addrA];
+    add r2, tmp, 1;
+    st.global [addrB], r2;
+    add i, i, 1;
+    mul r3, param.num, 4;
+    add addrA, r3, addrA;
+    add addrB, r3, addrB;
+    setp.ne p0, param.dim, i;
+    @p0 bra LOOP;
+""", name="example", params=("A", "B", "dim", "num"))
+
+
+class TestCFG:
+    def test_blocks_of_paper_kernel(self):
+        cfg = CFG(PAPER_KERNEL)
+        # Prologue block, loop body block, exit block.
+        assert len(cfg.blocks) == 3
+        assert cfg.blocks[1].start == PAPER_KERNEL.labels["LOOP"]
+
+    def test_loop_back_edge(self):
+        cfg = CFG(PAPER_KERNEL)
+        body = cfg.blocks[1]
+        assert body.index in body.successors       # self loop
+        assert cfg.blocks[2].index in body.successors
+
+    def test_reconvergence_of_if_else(self):
+        k = parse_kernel("""
+            setp.lt p0, %tid.x, 16;
+            @!p0 bra ELSE;
+            mov v, 1;
+            bra DONE;
+        ELSE:
+            mov v, 2;
+        DONE:
+            st.global [param.out], v;
+        """, params=("out",))
+        cfg = CFG(k)
+        branch_idx = 1
+        assert cfg.reconvergence_pc(branch_idx) == k.labels["DONE"]
+
+    def test_reconvergence_of_loop_is_exit_block(self):
+        cfg = CFG(PAPER_KERNEL)
+        branch_idx = len(PAPER_KERNEL) - 2          # @p0 bra LOOP
+        assert cfg.reconvergence_pc(branch_idx) == len(PAPER_KERNEL) - 1
+
+
+class TestReachingDefs:
+    def test_loop_carried_definition(self):
+        cfg = CFG(PAPER_KERNEL)
+        rd = ReachingDefs(PAPER_KERNEL, cfg)
+        load_idx = PAPER_KERNEL.labels["LOOP"]
+        defs = rd.reaching(load_idx, "addrA")
+        # Both the prologue def and the loop update reach the load.
+        assert len(defs) == 2
+
+    def test_straightline_single_def(self):
+        k = parse_kernel("mov a, 1;\nadd b, a, 2;\nadd c, b, a;")
+        rd = ReachingDefs(k, CFG(k))
+        assert rd.reaching(2, "b") == {1}
+        assert rd.reaching(2, "a") == {0}
+
+    def test_backward_slice(self):
+        rd = ReachingDefs(PAPER_KERNEL, CFG(PAPER_KERNEL))
+        store_idx = PAPER_KERNEL.labels["LOOP"] + 2
+        slice_ = rd.backward_slice({store_idx},
+                                   lambda i, reg: reg == "addrB")
+        names = {PAPER_KERNEL.instructions[d].dsts[0].name for d in slice_}
+        # Address chain only; the stored value r2/tmp is not followed.
+        assert "addrB" in names and "r1" in names
+        assert "r2" not in names and "tmp" not in names
+
+
+class TestAffineAnalysis:
+    def test_paper_kernel_classes(self):
+        a = AffineAnalysis(PAPER_KERNEL)
+        classes = {PAPER_KERNEL.instructions[i].dsts[0].name:
+                   a.def_class[i] for i in a.def_class
+                   if PAPER_KERNEL.instructions[i].written_regs()}
+        assert classes["tid"] is OperandClass.AFFINE
+        assert classes["addrA"] is OperandClass.AFFINE
+        assert classes["i"] is OperandClass.SCALAR
+        assert classes["r3"] is OperandClass.SCALAR
+        assert classes["tmp"] is OperandClass.NONAFFINE
+        assert classes["r2"] is OperandClass.NONAFFINE
+
+    def test_branch_kinds(self):
+        a = AffineAnalysis(PAPER_KERNEL)
+        branch_idx = len(PAPER_KERNEL) - 2
+        assert a.branch_kind(branch_idx) == "scalar"
+
+    def test_data_dependent_branch_is_nonaffine(self):
+        k = parse_kernel("""
+            ld.global v, [param.p];
+            setp.gt p0, v, 0;
+            @p0 bra SKIP;
+            mov a, 1;
+        SKIP:
+            exit;
+        """, params=("p",))
+        a = AffineAnalysis(k)
+        assert a.branch_kind(2) == "nonaffine"
+        assert a.nonaffine_control_dep(3)          # mov under the branch
+
+    def test_potential_affine_fractions(self):
+        a = AffineAnalysis(PAPER_KERNEL)
+        fractions = a.potential_affine_fractions()
+        assert fractions["memory"] > 0              # both accesses affine
+        assert fractions["arithmetic"] > 0.3
+        assert sum(fractions.values()) <= 1.0
+
+    def test_loop_blocks(self):
+        a = AffineAnalysis(PAPER_KERNEL)
+        assert a.in_loop(PAPER_KERNEL.labels["LOOP"])
+        assert not a.in_loop(0)
+
+    def test_guarded_write_joins_old_defs(self):
+        k = parse_kernel("""
+            ld.global v, [param.p];
+            mov a, 1;
+            setp.lt p0, %tid.x, 4;
+            @p0 mov a, v;
+            add b, a, 1;
+        """, params=("p",))
+        a = AffineAnalysis(k)
+        # After the guarded merge with a non-affine value, 'a' and 'b' are
+        # non-affine.
+        assert a.def_class[3] is OperandClass.NONAFFINE
+        assert a.def_class[4] is OperandClass.NONAFFINE
+
+
+class TestDecouple:
+    def test_paper_example_matches_figure7(self):
+        p = decouple(PAPER_KERNEL)
+        assert p.is_decoupled
+        assert p.decoupled_loads == 1
+        assert p.decoupled_stores == 1
+        assert p.decoupled_preds == 1
+        affine_ops = [i.opcode for i in p.affine.instructions]
+        assert Opcode.ENQ_DATA in affine_ops
+        assert Opcode.ENQ_ADDR in affine_ops
+        assert Opcode.ENQ_PRED in affine_ops
+        # The non-affine stream keeps only the data computation.
+        na_ops = [i.opcode for i in p.nonaffine.instructions]
+        assert Opcode.LD in na_ops and Opcode.ST in na_ops
+        assert len(p.nonaffine) < len(PAPER_KERNEL) / 2
+
+    def test_queue_ids_pair_up(self):
+        p = decouple(PAPER_KERNEL)
+        enq_ids = sorted(i.queue_id for i in p.affine.instructions
+                         if i.is_enq)
+        deq_ids = sorted(
+            tok.queue_id
+            for inst in p.nonaffine.instructions
+            for tok in list(inst.srcs) + list(inst.dsts)
+            if isinstance(tok, DeqToken))
+        assert enq_ids == deq_ids == list(range(p.num_queues))
+
+    def test_indirect_load_not_decoupled(self):
+        k = parse_kernel("""
+            mul r1, %tid.x, 4;
+            add a1, param.idx, r1;
+            ld.global i1, [a1];
+            mul r2, i1, 4;
+            add a2, param.data, r2;
+            ld.global v, [a2];
+            st.global [a1], v;
+        """, params=("idx", "data"))
+        p = decouple(k)
+        # The first load and the store are affine; the gather is not.
+        assert p.decoupled_loads == 1
+        assert p.decoupled_stores == 1
+
+    def test_data_dependent_region_not_decoupled(self):
+        k = parse_kernel("""
+            mul r1, %tid.x, 4;
+            add a1, param.p, r1;
+            ld.global v, [a1];
+            setp.gt p0, v, 0;
+            @!p0 bra DONE;
+            add a2, param.q, r1;
+            ld.global w, [a2];
+            st.global [a2], w;
+        DONE:
+            exit;
+        """, params=("p", "q"))
+        p = decouple(k)
+        # Only the first (unconditional) load is decoupled; the a2 access
+        # sits under data-dependent control flow.
+        assert p.decoupled_loads == 1
+        assert p.decoupled_stores == 0
+
+    def test_scalar_address_load_is_decoupled(self):
+        k = parse_kernel("""
+            ld.global v, [param.p];
+            mul a, v, 4;
+            add a2, param.p, a;
+            ld.global w, [a2];
+            st.global [a2], w;
+        """, params=("p",))
+        p = decouple(k)
+        # The parameter-addressed load is a scalar access (decoupled); the
+        # data-dependent gather and store are not.
+        assert p.decoupled_loads == 1
+        assert p.decoupled_stores == 0
+
+    def test_kernel_without_affine_accesses(self):
+        k = parse_kernel("""
+            ld.global i1, [param.p];
+            mul a, i1, 4;
+            add a2, param.p, a;
+            ld.global w, [a2];
+            mul a3, w, 4;
+            add a4, param.p, a3;
+            st.global [a4], w;
+        """, params=("p",))
+        p = decouple(k)
+        # Only the first (scalar) load qualifies; everything downstream is
+        # data dependent.
+        assert p.decoupled_loads == 1
+        assert p.decoupled_stores == 0
+
+    def test_divergent_condition_limit(self):
+        # Three sequential divergent guards on the address: exceeds the
+        # 2-condition budget of §4.6.
+        k = parse_kernel("""
+            mul off, %tid.x, 4;
+            setp.lt p1, %tid.x, 4;
+            @p1 mov off, 0;
+            setp.lt p2, %tid.x, 8;
+            @p2 mov off, 4;
+            setp.lt p3, %tid.x, 12;
+            @p3 mov off, 8;
+            add a1, param.p, off;
+            ld.global v, [a1];
+            st.global [a1], v;
+        """, params=("p",))
+        p = decouple(k)
+        assert p.decoupled_loads == 0
+
+    def test_two_conditions_allowed(self):
+        k = parse_kernel("""
+            mul off, %tid.x, 4;
+            setp.lt p1, %tid.x, 4;
+            @p1 mov off, 0;
+            add a1, param.p, off;
+            ld.global v, [a1];
+            st.global [a1], v;
+        """, params=("p",))
+        p = decouple(k)
+        assert p.decoupled_loads == 1
+
+    def test_loop_carried_divergent_tuple_rejected(self):
+        k = parse_kernel("""
+            mul off, %tid.x, 4;
+            mov i, 0;
+        LOOP:
+            setp.lt p1, %tid.x, 4;
+            @p1 add off, off, 4;
+            add a1, param.p, off;
+            ld.global v, [a1];
+            add i, i, 1;
+            setp.lt p0, i, 4;
+            @p0 bra LOOP;
+            st.global [param.q], v;
+        """, params=("p", "q"))
+        p = decouple(k)
+        assert p.decoupled_loads == 0
+
+    def test_barrier_replicated_to_both_streams(self):
+        k = parse_kernel("""
+            mul r1, %tid.x, 4;
+            add a1, param.p, r1;
+            ld.global v, [a1];
+            bar.sync;
+            st.global [a1], v;
+        """, params=("p",))
+        p = decouple(k)
+        assert any(i.is_barrier for i in p.affine.instructions)
+        assert any(i.is_barrier for i in p.nonaffine.instructions)
+
+    def test_shared_memory_not_decoupled(self):
+        k = parse_kernel("""
+            mul r1, %tid.x, 4;
+            st.shared [r1], %tid.x;
+            bar.sync;
+            ld.shared v, [r1];
+            add a1, param.p, r1;
+            st.global [a1], v;
+        """, params=("p",))
+        p = decouple(k)
+        assert p.decoupled_stores == 1              # only the global store
+        shared_ops = [i.opcode for i in p.nonaffine.instructions
+                      if i.is_memory and not any(
+                          isinstance(o, DeqToken)
+                          for o in i.srcs + i.dsts)]
+        assert shared_ops == [Opcode.ST, Opcode.LD]  # shared ops untouched
+
+    def test_labels_remap(self):
+        p = decouple(PAPER_KERNEL)
+        for stream in (p.affine, p.nonaffine):
+            for inst in stream.instructions:
+                if inst.is_branch:
+                    assert inst.target in stream.labels
+
+    def test_summary_strings(self):
+        assert "decoupled" in decouple(PAPER_KERNEL).summary()

@@ -1,0 +1,124 @@
+"""Tests for configuration, the event queue, and the stats store."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DACConfig, GPUConfig
+from repro.events import EventQueue
+from repro.stats import Stats
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        c = GPUConfig.gtx480()
+        assert c.num_sms == 15
+        assert c.warps_per_sm == 48
+        assert c.warp_size == 32
+        assert c.num_schedulers == 2
+        assert c.l1.size_bytes == 48 * 1024 and c.l1.ways == 4
+        assert c.l1.num_mshrs == 32
+        assert c.l2.size_bytes == 768 * 1024 and c.l2.ways == 8
+        assert c.dac.atq_entries == 24
+        assert c.dac.pwaq_entries == 192
+        assert c.dac.pwpq_entries == 192
+        assert c.mta.buffer_bytes == 16 * 1024
+        assert c.cae.affine_units == 2
+
+    def test_table1_render(self):
+        text = GPUConfig.gtx480().table1()
+        for token in ("GTX480", "48 warps/SM", "48 KB/SM", "768 KB",
+                      "Two Level Active", "16KB/SM", "ATQ"):
+            assert token in text
+
+    def test_scaled_preserves_per_sm_resources(self):
+        c = GPUConfig.gtx480().scaled(4)
+        assert c.num_sms == 4
+        assert c.l1.size_bytes == 48 * 1024       # per-SM untouched
+        assert c.warps_per_sm == 48
+        assert c.l2.size_bytes < 768 * 1024       # capacity scales
+
+    def test_with_technique_validates(self):
+        c = GPUConfig()
+        assert c.with_technique("dac").technique == "dac"
+        with pytest.raises(ValueError):
+            c.with_technique("magic")
+
+    def test_perfect_memory_flag(self):
+        assert GPUConfig().with_perfect_memory().perfect_memory
+
+    def test_configs_hashable_for_memoization(self):
+        a = GPUConfig(num_sms=2)
+        b = GPUConfig(num_sms=2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_dac_ablation_knob(self):
+        c = GPUConfig()
+        ablated = dataclasses.replace(
+            c, dac=dataclasses.replace(c.dac, lock_lines=False))
+        assert not ablated.dac.lock_lines and c.dac.lock_lines
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda t: fired.append((t, "b")))
+        q.schedule(3, lambda t: fired.append((t, "a")))
+        q.schedule(9, lambda t: fired.append((t, "c")))
+        q.run_until(6)
+        assert fired == [(3, "a"), (5, "b")]
+        q.run_until(20)
+        assert fired[-1] == (9, "c")
+
+    def test_same_cycle_is_fifo(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.schedule(4, lambda t, n=name: fired.append(n))
+        q.run_until(4)
+        assert fired == ["a", "b", "c"]
+
+    def test_events_may_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def first(t):
+            fired.append("first")
+            q.schedule(t, lambda t2: fired.append("chained"))
+
+        q.schedule(1, first)
+        q.run_until(1)
+        assert fired == ["first", "chained"]
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        q.schedule(7, lambda t: None)
+        assert q.next_time() == 7
+        assert len(q) == 1
+
+
+class TestStats:
+    def test_add_and_get(self):
+        s = Stats()
+        s.add("x")
+        s.add("x", 2)
+        assert s["x"] == 3
+        assert s["missing"] == 0
+        assert "x" in s and "missing" not in s
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        merged = a.merged_with(b)
+        assert merged["x"] == 3 and merged["y"] == 5
+
+    def test_report_filters_by_prefix(self):
+        s = Stats()
+        s.add("dac.records", 10)
+        s.add("l1.hits", 3)
+        text = s.report("dac.")
+        assert "dac.records" in text and "l1.hits" not in text

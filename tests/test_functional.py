@@ -1,0 +1,96 @@
+"""Tests for the functional interpreter, including the oracle property:
+the timing simulator must compute exactly what the functional interpreter
+computes, for every benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.isa import parse_kernel
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, simulate
+from repro.sim.functional import run_functional
+from repro.workloads import BY_ABBR, get
+
+CFG = GPUConfig(num_sms=2)
+
+
+class TestBasics:
+    def test_simple_kernel(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(128)
+        kernel = parse_kernel("""
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            mul v, tid, 3;
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """, name="t", params=("out",))
+        launch = KernelLaunch(kernel, (2, 1, 1), (64, 1, 1),
+                              dict(out=out), mem)
+        result = run_functional(launch)
+        np.testing.assert_array_equal(mem.read_array(out, 128),
+                                      np.arange(128) * 3)
+        assert result.instructions == 2 * 2 * 7   # 2 blocks x 2 warps
+
+    def test_trace_capture(self):
+        mem = GlobalMemory(1 << 20)
+        kernel = parse_kernel("mov r0, 1;\nexit;")
+        launch = KernelLaunch(kernel, (1, 1, 1), (32, 1, 1), {}, mem)
+        result = run_functional(launch, trace=True)
+        assert len(result.trace) == 2
+        assert "mov" in str(result.trace[0])
+        assert result.trace[0].active == 32
+
+    def test_barrier_phases(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        # Warp 1 writes shared; barrier; warp 0 reads warp 1's value.
+        kernel = parse_kernel("""
+            setp.ge p0, %tid.x, 32;
+            mul r1, %tid.x, 4;
+            @p0 st.shared [r1], %tid.x;
+            bar.sync;
+            add r2, %tid.x, 32;
+            mul r3, r2, 4;
+            rem r3, r3, 256;
+            ld.shared v, [r3];
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """, name="t", params=("out",))
+        launch = KernelLaunch(kernel, (1, 1, 1), (64, 1, 1),
+                              dict(out=out), mem, shared_words=64)
+        run_functional(launch)
+        got = mem.read_array(out, 64)
+        # Threads 0..31 read slots 32..63 (written by warp 1 pre-barrier).
+        np.testing.assert_array_equal(got[:32], np.arange(32) + 32)
+
+    def test_runaway_guard(self):
+        mem = GlobalMemory(1 << 20)
+        kernel = parse_kernel("LOOP:\nmov r0, 1;\nbra LOOP;")
+        launch = KernelLaunch(kernel, (1, 1, 1), (32, 1, 1), {}, mem)
+        from repro.sim.functional import FunctionalInterpreter
+        interp = FunctionalInterpreter(launch, max_instructions=100)
+        with pytest.raises(RuntimeError):
+            interp.run()
+
+
+class TestOracle:
+    @pytest.mark.parametrize("abbr", sorted(BY_ABBR))
+    def test_timing_simulator_matches_functional(self, abbr):
+        """The timing model's memory image must equal the pure functional
+        interpreter's for every benchmark."""
+        benchmark = get(abbr)
+        launch_f = benchmark.launch("tiny")
+        run_functional(launch_f)
+        launch_t = benchmark.launch("tiny")
+        simulate(launch_t, CFG)
+        assert np.array_equal(launch_f.memory.words,
+                              launch_t.memory.words), abbr
+
+    def test_instruction_count_matches_timing_stats(self):
+        benchmark = get("LIB")
+        launch_f = benchmark.launch("tiny")
+        fr = run_functional(launch_f)
+        launch_t = benchmark.launch("tiny")
+        tr = simulate(launch_t, CFG)
+        assert fr.instructions == tr.stats["warp_instructions"]

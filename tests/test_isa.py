@@ -1,0 +1,214 @@
+"""Unit tests for the ISA: operands, instructions, assembler."""
+
+import pytest
+
+from repro.isa import (
+    AsmError,
+    CmpOp,
+    DeqToken,
+    Immediate,
+    Instruction,
+    Kernel,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+    is_readonly,
+    parse_instruction,
+    parse_kernel,
+    parse_operand,
+    validate,
+)
+
+
+class TestOperands:
+    def test_register(self):
+        assert str(Register("addrA")) == "addrA"
+
+    def test_register_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Register("3bad")
+
+    def test_immediate_prints_ints_plainly(self):
+        assert str(Immediate(4.0)) == "4"
+        assert str(Immediate(0.5)) == "0.5"
+
+    def test_special_register(self):
+        sr = SpecialReg("tid", "x")
+        assert str(sr) == "%tid.x"
+
+    def test_special_register_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            SpecialReg("warpid", "x")
+
+    def test_special_register_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            SpecialReg("tid", "w")
+
+    def test_param(self):
+        assert str(Param("A")) == "param.A"
+
+    def test_memref_with_displacement(self):
+        ref = MemRef(Register("r1"), 4)
+        assert str(ref) == "[r1+4]"
+
+    def test_deq_token_kinds(self):
+        assert str(DeqToken("data", 0)) == "deq.data"
+        with pytest.raises(ValueError):
+            DeqToken("bogus", 0)
+
+    def test_readonly_classification(self):
+        assert is_readonly(Immediate(1))
+        assert is_readonly(Param("n"))
+        assert is_readonly(SpecialReg("tid", "x"))
+        assert not is_readonly(Register("r0"))
+
+
+class TestParseOperand:
+    def test_decimal_and_hex_immediates(self):
+        assert parse_operand("42") == Immediate(42.0)
+        assert parse_operand("0x100") == Immediate(256.0)
+        assert parse_operand("-3") == Immediate(-3.0)
+
+    def test_float_immediate(self):
+        assert parse_operand("0.25") == Immediate(0.25)
+
+    def test_predicate_convention(self):
+        assert isinstance(parse_operand("p0"), PredReg)
+        assert isinstance(parse_operand("pix"), Register)
+
+    def test_memref(self):
+        ref = parse_operand("[addrA+8]")
+        assert isinstance(ref, MemRef)
+        assert ref.displacement == 8
+
+    def test_deq_in_brackets(self):
+        tok = parse_operand("[deq.addr]")
+        assert isinstance(tok, DeqToken)
+        assert tok.kind == "addr"
+
+
+class TestParseInstruction:
+    def test_simple_alu(self):
+        inst = parse_instruction("add r0, r1, 4;")
+        assert inst.opcode is Opcode.ADD
+        assert inst.dsts == (Register("r0"),)
+        assert inst.srcs == (Register("r1"), Immediate(4.0))
+
+    def test_setp_requires_cmp(self):
+        inst = parse_instruction("setp.ne p0, r1, r2")
+        assert inst.cmp is CmpOp.NE
+        with pytest.raises(ValueError):
+            validate(parse_instruction("setp p0, r1, r2"))
+
+    def test_load_store(self):
+        ld = parse_instruction("ld.global tmp, [addrA];")
+        assert ld.space is MemSpace.GLOBAL and ld.is_load
+        st = parse_instruction("st.shared [r9], prod;")
+        assert st.space is MemSpace.SHARED and st.is_store
+
+    def test_guard(self):
+        inst = parse_instruction("@!p1 add r0, r0, 1;")
+        assert inst.guard == PredReg("p1")
+        assert inst.guard_negated
+
+    def test_deq_guard(self):
+        inst = parse_instruction("@deq.pred bra LOOP;")
+        assert isinstance(inst.guard, DeqToken)
+        assert inst.target == "LOOP"
+
+    def test_enq_forms(self):
+        assert parse_instruction("enq.data addrA").opcode is Opcode.ENQ_DATA
+        assert parse_instruction("enq.addr addrB").opcode is Opcode.ENQ_ADDR
+        assert parse_instruction("enq.pred p0").opcode is Opcode.ENQ_PRED
+
+    def test_mad(self):
+        inst = parse_instruction("mad d, a, b, c;")
+        assert len(inst.srcs) == 3
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            parse_instruction("frobnicate r0, r1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            parse_instruction("add r0, r1;")
+
+    def test_reads_unwraps_memref_and_guard(self):
+        inst = parse_instruction("@p0 st.global [addr], val")
+        names = {op.name for op in inst.read_regs()}
+        assert names == {"addr", "val", "p0"}
+
+    def test_category(self):
+        assert parse_instruction("mul r0, r1, r2").category == "arithmetic"
+        assert parse_instruction("ld.global a, [b]").category == "memory"
+        assert parse_instruction("bra L").category == "branch"
+        assert parse_instruction("setp.eq p0, a, b").category == "branch"
+
+    def test_clone_gets_fresh_uid(self):
+        inst = parse_instruction("add r0, r1, r2")
+        assert inst.clone().uid != inst.uid
+
+
+class TestParseKernel:
+    def test_header_and_labels(self):
+        k = parse_kernel("""
+        .kernel demo (A, n)
+            mov i, 0;
+        LOOP:
+            add i, i, 1;
+            setp.lt p0, i, param.n;
+            @p0 bra LOOP;
+            exit;
+        """)
+        assert k.name == "demo"
+        assert k.params == ("A", "n")
+        assert k.labels["LOOP"] == 1
+
+    def test_exit_appended(self):
+        k = parse_kernel("mov r0, 1;")
+        assert k.instructions[-1].is_exit
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(ValueError):
+            parse_kernel("bra NOWHERE;")
+
+    def test_undeclared_param_rejected(self):
+        with pytest.raises(ValueError):
+            parse_kernel("mov r0, param.мissing;", params=())
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            parse_kernel("L:\nmov r0, 1;\nL:\nmov r1, 2;")
+
+    def test_round_trip(self):
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+        LOOP:
+            ld.global tmp, [tid];
+            @p0 bra LOOP;
+            exit;
+        """
+        k1 = parse_kernel(src, name="rt", params=())
+        k2 = parse_kernel(k1.source())
+        assert [str(i) for i in k1.instructions] == \
+            [str(i) for i in k2.instructions]
+        assert k1.labels == k2.labels
+
+    def test_static_counts(self):
+        k = parse_kernel("""
+            add r0, r1, r2;
+            ld.global a, [r0];
+            setp.eq p0, a, 0;
+            exit;
+        """)
+        counts = k.static_counts()
+        assert counts == {"arithmetic": 1, "memory": 1, "branch": 2}
+
+    def test_registers(self):
+        k = parse_kernel("add r0, r1, r2;")
+        assert k.registers() == {"r0", "r1", "r2"}

@@ -1,0 +1,82 @@
+"""Tests for the profiling report and the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import run_dac
+from repro.harness import (
+    Profile,
+    experiment_config,
+    profile,
+    to_csv,
+    to_json,
+)
+from repro.sim import simulate
+from repro.workloads import get
+
+CFG = experiment_config(num_sms=2)
+
+
+class TestProfile:
+    def test_baseline_profile(self):
+        result = simulate(get("LIB").launch("tiny"), CFG)
+        prof = profile(result)
+        assert prof.cycles == result.cycles
+        assert 0 < prof.issue_utilization <= 1
+        assert 0 <= prof.l1_hit_rate <= 1
+        assert prof.dac_load_fraction == 0
+        text = prof.report()
+        assert "issue utilization" in text
+        assert "affine warp" not in text.split("loads issued")[0] or True
+
+    def test_dac_profile_has_dac_lines(self):
+        result = run_dac(get("LIB").launch("tiny"), CFG)
+        prof = profile(result)
+        assert prof.dac_load_fraction > 0.5
+        assert "loads issued by affine warp" in prof.report()
+
+    def test_mta_profile_has_accuracy(self):
+        result = simulate(get("ST").launch("tiny"),
+                          CFG.with_technique("mta"))
+        prof = profile(result)
+        if result.stats["mta.prefetches"]:
+            assert "MTA prefetch accuracy" in prof.report()
+
+    def test_divergence_rate(self):
+        result = simulate(get("BFS").launch("tiny"), CFG)
+        prof = profile(result)
+        assert 0 <= prof.divergence_rate <= 1
+
+
+class TestExport:
+    def test_csv_nested(self, tmp_path):
+        data = {"A": {"x": 1.0, "y": 2.0}, "B": {"x": 3.0, "y": 4.0}}
+        path = tmp_path / "out.csv"
+        text = to_csv(data, str(path))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["benchmark", "x", "y"]
+        assert rows[1] == ["A", "1.0", "2.0"]
+        assert path.read_text() == text
+
+    def test_csv_flat(self):
+        text = to_csv({"A": 0.5, "B": 1.5})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["benchmark", "value"]
+        assert len(rows) == 3
+
+    def test_json_round_trip(self, tmp_path):
+        data = {"A": {"x": 1.0}, "B": {"x": 2.0}}
+        path = tmp_path / "out.json"
+        text = to_json(data, str(path))
+        assert json.loads(text) == data
+        assert json.loads(path.read_text()) == data
+
+    def test_export_real_figure(self):
+        from repro.harness import fig6_affine_potential
+        data = fig6_affine_potential()
+        text = to_csv(data)
+        assert "arithmetic" in text.splitlines()[0]
+        assert len(text.splitlines()) == 31          # header + 29 + MEAN

@@ -1,0 +1,115 @@
+"""Property test: assembler round-trip on randomly generated instructions.
+
+Any instruction the ISA can represent must print to text that parses back
+to an identical instruction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    CmpOp,
+    Immediate,
+    Instruction,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+    parse_instruction,
+)
+from repro.isa.instructions import ALU_BINARY, ALU_UNARY, SFU_OPS
+
+names = st.from_regex(r"[a-oq-z][a-z0-9_]{0,6}", fullmatch=True)
+
+registers = names.map(Register)
+preds = st.integers(0, 9).map(lambda i: PredReg(f"p{i}"))
+immediates = st.integers(-1000, 1000).map(lambda v: Immediate(float(v)))
+specials = st.tuples(st.sampled_from(["tid", "ntid", "ctaid", "nctaid"]),
+                     st.sampled_from(["x", "y", "z"])) \
+    .map(lambda t: SpecialReg(*t))
+params = names.map(Param)
+
+sources = st.one_of(registers, immediates, specials, params)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["binary", "unary", "sfu", "mad", "selp",
+                                 "setp", "ld", "st", "atom", "bar",
+                                 "guarded"]))
+    if kind == "binary":
+        opcode = draw(st.sampled_from(sorted(ALU_BINARY,
+                                             key=lambda o: o.value)))
+        return Instruction(opcode, dsts=(draw(registers),),
+                           srcs=(draw(sources), draw(sources)))
+    if kind == "unary":
+        opcode = draw(st.sampled_from(sorted(ALU_UNARY,
+                                             key=lambda o: o.value)))
+        return Instruction(opcode, dsts=(draw(registers),),
+                           srcs=(draw(sources),))
+    if kind == "sfu":
+        opcode = draw(st.sampled_from(sorted(SFU_OPS,
+                                             key=lambda o: o.value)))
+        return Instruction(opcode, dsts=(draw(registers),),
+                           srcs=(draw(sources),))
+    if kind == "mad":
+        return Instruction(Opcode.MAD, dsts=(draw(registers),),
+                           srcs=(draw(sources), draw(sources),
+                                 draw(sources)))
+    if kind == "selp":
+        return Instruction(Opcode.SELP, dsts=(draw(registers),),
+                           srcs=(draw(sources), draw(sources),
+                                 draw(preds)))
+    if kind == "setp":
+        return Instruction(Opcode.SETP, dsts=(draw(preds),),
+                           srcs=(draw(sources), draw(sources)),
+                           cmp=draw(st.sampled_from(list(CmpOp))))
+    space = draw(st.sampled_from(list(MemSpace)))
+    disp = draw(st.sampled_from([0, 4, 8, 128]))
+    if kind == "ld":
+        return Instruction(Opcode.LD, dsts=(draw(registers),),
+                           srcs=(MemRef(draw(registers), disp),),
+                           space=space)
+    if kind == "st":
+        return Instruction(Opcode.ST,
+                           dsts=(MemRef(draw(registers), disp),),
+                           srcs=(draw(sources),), space=space)
+    if kind == "atom":
+        return Instruction(Opcode.ATOM,
+                           dsts=(MemRef(draw(registers), disp),),
+                           srcs=(draw(sources),), space=space)
+    if kind == "bar":
+        return Instruction(Opcode.BAR)
+    # guarded ALU
+    return Instruction(Opcode.ADD, dsts=(draw(registers),),
+                       srcs=(draw(sources), draw(sources)),
+                       guard=draw(preds),
+                       guard_negated=draw(st.booleans()))
+
+
+def _key(inst: Instruction):
+    return (inst.opcode, inst.dsts, inst.srcs, inst.guard,
+            inst.guard_negated, inst.cmp, inst.space, inst.target)
+
+
+@given(instructions())
+@settings(max_examples=300)
+def test_round_trip(inst):
+    reparsed = parse_instruction(str(inst))
+    assert _key(reparsed) == _key(inst), f"{inst} -> {reparsed}"
+
+
+@given(st.lists(instructions(), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_kernel_source_round_trip(insts):
+    from repro.isa import Kernel, parse_kernel
+    insts = list(insts) + [Instruction(Opcode.EXIT)]
+    params = sorted({op.name for i in insts
+                     for op in i.srcs if isinstance(op, Param)})
+    kernel = Kernel(name="rt", params=tuple(params), instructions=insts,
+                    labels={})
+    reparsed = parse_kernel(kernel.source())
+    assert [_key(i) for i in reparsed.instructions] == \
+        [_key(i) for i in kernel.instructions]

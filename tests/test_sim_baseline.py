@@ -1,0 +1,327 @@
+"""End-to-end functional tests of the baseline timing simulator against
+numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.isa import parse_kernel
+from repro.sim import (
+    DeadlockError,
+    GPUConfig,
+    GlobalMemory,
+    KernelLaunch,
+    simulate,
+)
+
+CFG = GPUConfig(num_sms=2)
+
+
+def run(source, params, grid=(1, 1, 1), block=(64, 1, 1), shared_words=0,
+        mem=None, config=CFG, name="t"):
+    kernel = parse_kernel(source, name=name, params=tuple(params))
+    mem = mem or GlobalMemory(1 << 20)
+    launch = KernelLaunch(kernel, grid, block, params, mem, shared_words)
+    result = simulate(launch, config)
+    return result, mem
+
+
+PROLOGUE = """
+    mul r0, %ctaid.x, %ntid.x;
+    add tid, %tid.x, r0;
+"""
+
+
+class TestStraightLine:
+    def test_vector_add(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.alloc_array(np.arange(128))
+        b = mem.alloc_array(np.arange(128) * 2)
+        c = mem.alloc(128)
+        src = PROLOGUE + """
+            mul r1, tid, 4;
+            add aaddr, param.A, r1;
+            ld.global av, [aaddr];
+            add baddr, param.B, r1;
+            ld.global bv, [baddr];
+            add cv, av, bv;
+            add caddr, param.C, r1;
+            st.global [caddr], cv;
+        """
+        _, mem = run(src, dict(A=a, B=b, C=c), grid=(2, 1, 1), mem=mem)
+        np.testing.assert_array_equal(mem.read_array(c, 128),
+                                      np.arange(128) * 3)
+
+    def test_special_registers(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(128)
+        src = """
+            mul r0, %ctaid.x, %ntid.x;
+            add tid, %tid.x, r0;
+            mul v, %ctaid.x, 1000;
+            add v, v, %tid.x;
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """
+        _, mem = run(src, dict(out=out), grid=(2, 1, 1))
+        got = mem.read_array(out, 128)
+        expected = np.concatenate([np.arange(64), 1000 + np.arange(64)])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_2d_thread_indices(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(128)
+        src = """
+            mul v, %tid.y, 100;
+            add v, v, %tid.x;
+            mul r1, %tid.y, %ntid.x;
+            add r2, r1, %tid.x;
+            mul r3, r2, 4;
+            add oaddr, param.out, r3;
+            st.global [oaddr], v;
+        """
+        _, mem = run(src, dict(out=out), block=(16, 8, 1))
+        got = mem.read_array(out, 128).reshape(8, 16)
+        expected = np.arange(16)[None, :] + 100 * np.arange(8)[:, None]
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestControlFlow:
+    def test_uniform_loop(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            mov acc, 0;
+            mov i, 0;
+        LOOP:
+            add acc, acc, i;
+            add i, i, 1;
+            setp.lt p0, i, 10;
+            @p0 bra LOOP;
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], acc;
+        """
+        _, mem = run(src, dict(out=out))
+        np.testing.assert_array_equal(mem.read_array(out, 64),
+                                      np.full(64, 45.0))
+
+    def test_divergent_if_else(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            setp.lt p0, tid, 20;
+            @!p0 bra ELSE;
+            mov v, 111;
+            bra DONE;
+        ELSE:
+            mov v, 222;
+        DONE:
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """
+        _, mem = run(src, dict(out=out))
+        got = mem.read_array(out, 64)
+        expected = np.where(np.arange(64) < 20, 111.0, 222.0)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_divergent_loop_trip_counts(self):
+        # Each thread iterates tid % 4 + 1 times.
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            rem r1, tid, 4;
+            add bound, r1, 1;
+            mov acc, 0;
+            mov i, 0;
+        LOOP:
+            add acc, acc, 1;
+            add i, i, 1;
+            setp.lt p0, i, bound;
+            @p0 bra LOOP;
+            mul r2, tid, 4;
+            add oaddr, param.out, r2;
+            st.global [oaddr], acc;
+        """
+        _, mem = run(src, dict(out=out))
+        expected = (np.arange(64) % 4 + 1).astype(float)
+        np.testing.assert_array_equal(mem.read_array(out, 64), expected)
+
+    def test_nested_divergence(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            mov v, 0;
+            setp.lt p0, tid, 32;
+            @!p0 bra OUTER_ELSE;
+            setp.lt p1, tid, 16;
+            @!p1 bra INNER_ELSE;
+            mov v, 1;
+            bra INNER_DONE;
+        INNER_ELSE:
+            mov v, 2;
+        INNER_DONE:
+            bra DONE;
+        OUTER_ELSE:
+            mov v, 3;
+        DONE:
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """
+        _, mem = run(src, dict(out=out))
+        tid = np.arange(64)
+        expected = np.where(tid < 16, 1, np.where(tid < 32, 2, 3)).astype(
+            float)
+        np.testing.assert_array_equal(mem.read_array(out, 64), expected)
+
+    def test_guarded_execution_without_branch(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            mov v, 5;
+            setp.ge p0, tid, 32;
+            @p0 mov v, 9;
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], v;
+        """
+        _, mem = run(src, dict(out=out))
+        expected = np.where(np.arange(64) >= 32, 9.0, 5.0)
+        np.testing.assert_array_equal(mem.read_array(out, 64), expected)
+
+
+class TestSharedAndBarriers:
+    def test_block_reduction(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(2)
+        src = """
+            mul r1, %tid.x, 4;
+            st.shared [r1], %tid.x;
+            bar.sync;
+            mov k, 32;
+        RED:
+            setp.lt p1, %tid.x, k;
+            add r2, %tid.x, k;
+            mul r3, r2, 4;
+            @p1 ld.shared a, [r3];
+            @p1 ld.shared b, [r1];
+            @p1 add c, a, b;
+            @p1 st.shared [r1], c;
+            bar.sync;
+            shr k, k, 1;
+            setp.ge p0, k, 1;
+            @p0 bra RED;
+            setp.eq p2, %tid.x, 0;
+            mul r4, %ctaid.x, 4;
+            add oaddr, param.out, r4;
+            @p2 st.global [oaddr], c;
+        """
+        _, mem = run(src, dict(out=out), grid=(2, 1, 1), shared_words=64)
+        np.testing.assert_array_equal(mem.read_array(out, 2),
+                                      [2016.0, 2016.0])
+
+    def test_atomics(self):
+        mem = GlobalMemory(1 << 20)
+        counter = mem.alloc(1)
+        src = PROLOGUE + """
+            atom.global [param.c], 1;
+        """
+        _, mem = run(src, dict(c=counter), grid=(2, 1, 1))
+        assert mem.read_array(counter, 1)[0] == 128.0
+
+
+class TestTimingSanity:
+    def test_perfect_memory_faster(self):
+        def build():
+            mem = GlobalMemory(1 << 20)
+            data = mem.alloc_array(np.arange(4096))
+            out = mem.alloc(256)
+            src = PROLOGUE + """
+                mov acc, 0;
+                mov i, 0;
+            LOOP:
+                mul r1, i, param.nb;
+                mul r2, tid, 4;
+                add r3, r1, r2;
+                add a1, param.data, r3;
+                ld.global v, [a1];
+                add acc, acc, v;
+                add i, i, 1;
+                setp.lt p0, i, 16;
+                @p0 bra LOOP;
+                mul r4, tid, 4;
+                add oaddr, param.out, r4;
+                st.global [oaddr], acc;
+            """
+            kernel = parse_kernel(src, name="t", params=("data", "out", "nb"))
+            return KernelLaunch(kernel, (2, 1, 1), (128, 1, 1),
+                                dict(data=data, out=out, nb=1024), mem)
+
+        slow = simulate(build(), CFG)
+        fast = simulate(build(), CFG.with_perfect_memory())
+        assert fast.cycles < slow.cycles
+
+    def test_more_parallelism_does_not_slow_down(self):
+        def build(blocks):
+            mem = GlobalMemory(1 << 20)
+            out = mem.alloc(blocks * 64)
+            src = PROLOGUE + """
+                mul v, tid, 2;
+                mul r1, tid, 4;
+                add oaddr, param.out, r1;
+                st.global [oaddr], v;
+            """
+            kernel = parse_kernel(src, name="t", params=("out",))
+            return KernelLaunch(kernel, (blocks, 1, 1), (64, 1, 1),
+                                dict(out=out), mem)
+
+        one = simulate(build(1), CFG)
+        many = simulate(build(8), CFG)
+        # 8x the work should take far less than 8x the time.
+        assert many.cycles < one.cycles * 6
+
+    def test_lrr_scheduler_works(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], tid;
+        """
+        kernel = parse_kernel(src, name="t", params=("out",))
+        launch = KernelLaunch(kernel, (1, 1, 1), (64, 1, 1),
+                              dict(out=out), mem)
+        result = simulate(launch, GPUConfig(num_sms=1, scheduler="lrr"))
+        np.testing.assert_array_equal(mem.read_array(out, 64),
+                                      np.arange(64))
+
+    def test_max_cycles_guard(self):
+        import dataclasses
+        mem = GlobalMemory(1 << 20)
+        src = """
+        LOOP:
+            mov r0, 1;
+            bra LOOP;
+        """
+        kernel = parse_kernel(src, name="t", params=())
+        launch = KernelLaunch(kernel, (1, 1, 1), (32, 1, 1), {}, mem)
+        config = dataclasses.replace(CFG, max_cycles=2000)
+        with pytest.raises(DeadlockError):
+            simulate(launch, config)
+
+    def test_stats_populated(self):
+        mem = GlobalMemory(1 << 20)
+        out = mem.alloc(64)
+        src = PROLOGUE + """
+            mul r1, tid, 4;
+            add oaddr, param.out, r1;
+            st.global [oaddr], tid;
+        """
+        result, _ = run(src, dict(out=out))
+        stats = result.stats
+        assert stats["warp_instructions"] == 2 * 6    # incl. exit
+        assert stats["thread_instructions"] == 2 * 6 * 32
+        assert stats["gmem_stores"] == 2
+        assert result.cycles > 0

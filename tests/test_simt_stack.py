@@ -1,0 +1,132 @@
+"""Unit + property tests for the SIMT reconvergence stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.simt_stack import SIMTStack
+
+
+def full(n=32):
+    return np.ones(n, dtype=bool)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        stack = SIMTStack(full())
+        assert stack.pc == 0
+        assert stack.depth == 1
+        assert stack.active_mask.all()
+
+    def test_sequential_advance(self):
+        stack = SIMTStack(full())
+        stack.pc = 5
+        assert stack.pc == 5 and stack.depth == 1
+
+    def test_diverge_and_reconverge(self):
+        stack = SIMTStack(full())
+        taken = np.arange(32) < 16
+        stack.diverge(taken, ~taken, target_pc=10, fallthrough_pc=1, rpc=20)
+        assert stack.depth == 3
+        assert stack.pc == 10                      # taken path first
+        np.testing.assert_array_equal(stack.active_mask, taken)
+        stack.pc = 20                              # reach rpc: pop
+        assert stack.pc == 1                       # fallthrough path
+        np.testing.assert_array_equal(stack.active_mask, ~taken)
+        stack.pc = 20
+        assert stack.depth == 1
+        assert stack.active_mask.all()
+
+    def test_path_starting_at_rpc_not_pushed(self):
+        stack = SIMTStack(full())
+        taken = np.arange(32) < 8
+        # fallthrough == rpc: those lanes just wait at reconvergence.
+        stack.diverge(taken, ~taken, target_pc=5, fallthrough_pc=9, rpc=9)
+        assert stack.depth == 2
+        np.testing.assert_array_equal(stack.active_mask, taken)
+        stack.pc = 9
+        assert stack.depth == 1
+        assert stack.active_mask.all()
+
+    def test_nested_divergence(self):
+        stack = SIMTStack(full())
+        outer = np.arange(32) < 16
+        stack.diverge(outer, ~outer, 10, 1, 30)
+        inner = np.arange(32) < 8
+        stack.diverge(inner & outer, outer & ~inner, 12, 11, 20)
+        assert stack.depth == 5
+        np.testing.assert_array_equal(stack.active_mask, inner & outer)
+        assert stack.max_depth == 5
+
+    def test_loop_reexecution_keeps_depth_bounded(self):
+        stack = SIMTStack(full())
+        alive = full().copy()
+        # Simulated loop: each "iteration" 4 more lanes exit at rpc 100.
+        for it in range(8):
+            alive = np.arange(32) >= (it + 1) * 4
+            taken = stack.active_mask & alive
+            ntaken = stack.active_mask & ~alive
+            if not taken.any():
+                break
+            stack.diverge(taken, ntaken, target_pc=1, fallthrough_pc=100,
+                          rpc=100)
+            assert stack.depth <= 3
+            stack.pc = 100                         # body runs, hits rpc
+
+
+@st.composite
+def divergence_traces(draw):
+    """Random sequences of (split_point, rpc) divergences."""
+    return draw(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=31),
+                  st.integers(min_value=50, max_value=60)),
+        min_size=1, max_size=6))
+
+
+class TestProperties:
+    @given(divergence_traces())
+    @settings(max_examples=50)
+    def test_masks_partition_and_reconverge(self, trace):
+        """At every point the live masks of the stack partition the initial
+        mask; draining every path restores the full mask."""
+        stack = SIMTStack(full())
+        rpcs = []
+        for split, rpc in trace:
+            mask = stack.active_mask
+            taken = mask & (np.arange(32) < split)
+            ntaken = mask & ~(np.arange(32) < split)
+            if not taken.any() or not ntaken.any():
+                continue
+            stack.diverge(taken, ntaken, target_pc=1, fallthrough_pc=2,
+                          rpc=rpc)
+            rpcs.append(rpc)
+            # Union of all entries equals the original full mask.
+            union = np.zeros(32, dtype=bool)
+            for m in stack._masks:
+                union |= m
+            assert union.all()
+        # Drain: walk every entry to its rpc.
+        for _ in range(64):
+            if stack.depth == 1:
+                break
+            stack.pc = stack._rpcs[-1]
+        assert stack.depth == 1
+        assert stack.active_mask.all()
+
+    @given(divergence_traces())
+    @settings(max_examples=50)
+    def test_sibling_masks_disjoint(self, trace):
+        stack = SIMTStack(full())
+        for split, rpc in trace:
+            mask = stack.active_mask
+            taken = mask & (np.arange(32) < split)
+            ntaken = mask & ~(np.arange(32) < split)
+            if not taken.any() or not ntaken.any():
+                continue
+            stack.diverge(taken, ntaken, 1, 2, rpc)
+            for i in range(1, stack.depth):
+                for j in range(i + 1, stack.depth):
+                    overlap = stack._masks[i] & stack._masks[j]
+                    # An entry's mask is a subset of the entry below it;
+                    # true siblings (same rpc, adjacent) are disjoint.
+                    if stack._rpcs[i] == stack._rpcs[j] and j == i + 1:
+                        assert not overlap.any()

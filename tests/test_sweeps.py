@@ -1,0 +1,43 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness import experiment_config, override, sweep
+
+
+class TestOverride:
+    def test_top_level(self):
+        cfg = override(GPUConfig(), "num_sms", 3)
+        assert cfg.num_sms == 3
+
+    def test_nested(self):
+        cfg = override(GPUConfig(), "dac.pwaq_entries", 96)
+        assert cfg.dac.pwaq_entries == 96
+        assert cfg.dac.pwpq_entries == 192      # untouched
+
+    def test_cache_field(self):
+        cfg = override(GPUConfig(), "l1.size_bytes", 4096)
+        assert cfg.l1.size_bytes == 4096
+
+    def test_too_deep(self):
+        with pytest.raises(ValueError):
+            override(GPUConfig(), "a.b.c", 1)
+
+
+class TestSweep:
+    def test_sweep_runs_and_reports(self):
+        cfg = experiment_config(num_sms=2)
+        result = sweep("CS", "dac.pwaq_entries", [48, 192], cfg,
+                       scale="tiny", keep_stats=("dac.records",))
+        assert len(result.points) == 2
+        assert all(p.speedup > 0 for p in result.points)
+        assert all("dac.records" in p.stats for p in result.points)
+        text = result.table()
+        assert "dac.pwaq_entries" in text and "CS" in text
+
+    def test_sweep_other_technique(self):
+        cfg = experiment_config(num_sms=2)
+        result = sweep("CS", "mta.prefetch_degree", [0, 4], cfg,
+                       technique="mta", scale="tiny")
+        assert len(result.points) == 2

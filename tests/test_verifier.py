@@ -1,0 +1,118 @@
+"""Tests for the decoupling verifier — and through it, the decoupler: the
+verifier must pass on every benchmark and catch seeded inconsistencies."""
+
+import pytest
+
+from repro.compiler.decouple import decouple
+from repro.compiler.verifier import verify
+from repro.isa import DeqToken, Instruction, Opcode, parse_kernel
+from repro.workloads import BY_ABBR, get
+
+
+@pytest.mark.parametrize("abbr", sorted(BY_ABBR))
+def test_every_benchmark_verifies(abbr):
+    program = decouple(get(abbr).launch("tiny").kernel)
+    report = verify(program)
+    assert report.ok, f"{abbr}: {report}"
+
+
+def _paper_program():
+    kernel = parse_kernel("""
+        mul r0, %ctaid.x, %ntid.x;
+        add tid, %tid.x, r0;
+        mul r1, tid, 4;
+        add addrA, param.A, r1;
+        add addrB, param.B, r1;
+        mov i, 0;
+    LOOP:
+        ld.global tmp, [addrA];
+        add r2, tmp, 1;
+        st.global [addrB], r2;
+        add i, i, 1;
+        mul r3, param.num, 4;
+        add addrA, r3, addrA;
+        add addrB, r3, addrB;
+        setp.ne p0, param.dim, i;
+        @p0 bra LOOP;
+    """, name="example", params=("A", "B", "dim", "num"))
+    return decouple(kernel)
+
+
+class TestSeededDefects:
+    def test_clean_program_verifies(self):
+        assert verify(_paper_program()).ok
+
+    def test_detects_missing_enqueue(self):
+        program = _paper_program()
+        program.affine.instructions = [
+            i for i in program.affine.instructions
+            if i.opcode is not Opcode.ENQ_ADDR]
+        report = verify(program)
+        assert not report.ok
+        assert any("queue id mismatch" in e for e in report.errors)
+
+    def test_detects_kind_mismatch(self):
+        program = _paper_program()
+        for i, inst in enumerate(program.affine.instructions):
+            if inst.opcode is Opcode.ENQ_DATA:
+                program.affine.instructions[i] = inst.clone(
+                    opcode=Opcode.ENQ_ADDR)
+                break
+        report = verify(program)
+        assert not report.ok
+        assert any("kind" in e for e in report.errors)
+
+    def test_detects_memory_in_affine_stream(self):
+        program = _paper_program()
+        from repro.isa import MemRef, MemSpace, Register
+        rogue = Instruction(Opcode.LD, dsts=(Register("x"),),
+                            srcs=(MemRef(Register("addrA")),),
+                            space=MemSpace.GLOBAL)
+        program.affine.instructions.insert(0, rogue)
+        report = verify(program)
+        assert not report.ok
+        assert any("memory access" in e for e in report.errors)
+
+    def test_detects_swapped_order(self):
+        program = _paper_program()
+        insts = program.nonaffine.instructions
+        idxs = [i for i, inst in enumerate(insts)
+                if any(isinstance(o, DeqToken)
+                       for o in inst.srcs + inst.dsts)
+                and inst.is_memory]
+        assert len(idxs) >= 2
+        a, b = idxs[0], idxs[1]
+        insts[a], insts[b] = insts[b], insts[a]
+        report = verify(program)
+        assert not report.ok
+        assert any("out of original order" in e for e in report.errors)
+
+    def test_detects_barrier_mismatch(self):
+        program = _paper_program()
+        program.nonaffine.instructions.insert(
+            0, Instruction(Opcode.BAR))
+        report = verify(program)
+        assert not report.ok
+        assert any("barrier" in e for e in report.errors)
+
+    def test_not_decoupled_is_trivially_ok(self):
+        kernel = parse_kernel("""
+            ld.global i1, [param.p];
+            mul r2, i1, 4;
+            add a2, param.p, r2;
+            ld.global w, [a2];
+            mul r5, w, 4;
+            add a5, param.p, r5;
+            st.global [a5], w;
+        """, params=("p",))
+        program = decouple(kernel)
+        assert verify(program).ok
+
+    def test_report_str(self):
+        ok = verify(_paper_program())
+        assert "verified" in str(ok)
+        program = _paper_program()
+        program.affine.instructions = [
+            i for i in program.affine.instructions if not i.is_enq]
+        bad = verify(program)
+        assert "FAILED" in str(bad)

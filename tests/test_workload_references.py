@@ -1,0 +1,135 @@
+"""Closed-form numpy references for selected workloads.
+
+The cross-technique tests prove the four machines agree with each other;
+these prove they compute the *right thing*, against independent numpy
+implementations of the kernels' math.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import GPUConfig, run_functional
+from repro.workloads import get
+
+CFG = GPUConfig(num_sms=2)
+
+
+def _inputs(launch, name, count):
+    addr = int(launch.params[name])
+    return launch.memory.read_array(addr, count)
+
+
+def _run(abbr):
+    launch = get(abbr).launch("tiny")
+    before = {k: v for k, v in launch.params.items()}
+    snapshot = launch.memory.words.copy()
+    run_functional(launch)
+    return launch, before, snapshot
+
+
+class TestClosedForms:
+    def test_lud_row_elimination(self):
+        launch, params, before = _run("LUD")
+        n = launch.num_blocks * launch.threads_per_block
+        cols = int(params["cols"])
+        pivot = before[int(params["pivot"]) // 4:
+                       int(params["pivot"]) // 4 + cols]
+        mat = before[int(params["mat"]) // 4:
+                     int(params["mat"]) // 4 + n * cols].reshape(n, cols)
+        expected = -(mat * pivot).sum(axis=1)
+        got = launch.memory.read_array(int(params["out"]), n)
+        np.testing.assert_allclose(got, expected)
+
+    def test_sp_dot_product(self):
+        launch, params, before = _run("SP")
+        blocks = launch.num_blocks
+        threads = launch.threads_per_block
+        n = blocks * threads
+        chunks = int(params["chunks"])
+        a = before[int(params["A"]) // 4:int(params["A"]) // 4 + n * chunks]
+        b = before[int(params["B"]) // 4:int(params["B"]) // 4 + n * chunks]
+        per_thread = (a.reshape(chunks, n) * b.reshape(chunks, n)).sum(0)
+        expected = per_thread.reshape(blocks, threads).sum(1)
+        got = launch.memory.read_array(int(params["out"]), blocks)
+        np.testing.assert_allclose(got, expected)
+
+    def test_km_argmin(self):
+        launch, params, before = _run("KM")
+        n = launch.num_blocks * launch.threads_per_block
+        nfeat, ncl = int(params["nfeat"]), int(params["nclusters"])
+        feat = before[int(params["feat"]) // 4:
+                      int(params["feat"]) // 4 + n * nfeat] \
+            .reshape(nfeat, n)
+        cent = before[int(params["cent"]) // 4:
+                      int(params["cent"]) // 4 + ncl * nfeat] \
+            .reshape(ncl, nfeat)
+        dists = ((feat.T[:, None, :] - cent[None, :, :]) ** 2).sum(axis=2)
+        expected = np.argmin(dists, axis=1).astype(float)
+        got = launch.memory.read_array(int(params["assign"]), n)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_sc_min_distance(self):
+        launch, params, before = _run("SC")
+        n = launch.num_blocks * launch.threads_per_block
+        ncenters = int(params["ncenters"])
+        pts = before[int(params["pts"]) // 4:
+                     int(params["pts"]) // 4 + n * 2 * ncenters]
+        centers = before[int(params["centers"]) // 4:
+                         int(params["centers"]) // 4 + ncenters * 2] \
+            .reshape(ncenters, 2)
+        best = np.full(n, 1e6)
+        for c in range(ncenters):
+            px = pts[c * n * 2 + np.arange(n) * 2]
+            py = pts[c * n * 2 + np.arange(n) * 2 + 1]
+            d2 = (px - centers[c, 0]) ** 2 + (py - centers[c, 1]) ** 2
+            best = np.minimum(best, d2)
+        got = launch.memory.read_array(int(params["out"]), n)
+        np.testing.assert_allclose(got, best)
+
+    def test_img_histogram(self):
+        launch, params, before = _run("IMG")
+        n = launch.num_blocks * launch.threads_per_block
+        iters = int(params["iters"])
+        pix = before[int(params["pix"]) // 4:
+                     int(params["pix"]) // 4 + n * iters]
+        expected = np.bincount(pix.astype(np.int64) & 63, minlength=64)
+        got = launch.memory.read_array(int(params["hist"]), 64)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_cs_convolution(self):
+        launch, params, before = _run("CS")
+        n = launch.num_blocks * launch.threads_per_block
+        taps, rows = int(params["taps"]), int(params["rows"])
+        border = int(params["border"])
+        row_words = int(params["rowbytes"]) // 4
+        inp = before[int(params["inp"]) // 4:
+                     int(params["inp"]) // 4 + row_words * rows]
+        coef = before[int(params["coef"]) // 4:
+                      int(params["coef"]) // 4 + taps]
+        tid = np.arange(n)
+        start = np.where(tid < border, 0, tid)
+        expected = np.zeros(n)
+        for r in range(rows):
+            for k in range(taps):
+                expected += coef[k] * inp[r * row_words + start + k]
+        got = launch.memory.read_array(int(params["out"]), n)
+        np.testing.assert_allclose(got, expected)
+
+    def test_bfs_frontier_update(self):
+        launch, params, before = _run("BFS")
+        n = launch.num_blocks * launch.threads_per_block
+        degree = int(params["degree"])
+        cur = params["cur"]
+        levels0 = before[int(params["levels"]) // 4:
+                         int(params["levels"]) // 4 + n]
+        edges = before[int(params["edges"]) // 4:
+                       int(params["edges"]) // 4 + n * degree] \
+            .astype(np.int64).reshape(n, degree)
+        expected = levels0.copy()
+        frontier = np.where(levels0 == cur)[0]
+        for node in frontier:
+            for nb in edges[node]:
+                if expected[nb] > cur + 1:
+                    expected[nb] = cur + 1
+        got = launch.memory.read_array(int(params["levels"]), n)
+        np.testing.assert_array_equal(got, expected)
