@@ -3,21 +3,55 @@
 Benches run the experiment pipeline at the full ``paper`` scale on the
 4-SM experiment machine (the same configuration EXPERIMENTS.md records).
 All (benchmark, technique) simulation runs are memoized for the pytest
-session, so the ten figure benches share one set of runs and the whole
-suite completes in a few minutes.
+session *and* persisted in the on-disk result cache, so the ten figure
+benches share one set of runs, the whole suite completes in a few minutes
+cold — and in seconds warm, loading every run from disk.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache/`` in the
+  repo root); set ``REPRO_NO_CACHE=1`` to disable persistence.
+* ``REPRO_JOBS`` — with ``N > 1``, a session fixture prewarms the full
+  (benchmark × technique) grid over ``N`` worker processes before the
+  first bench runs.
 """
+
+import os
+import pathlib
 
 import pytest
 
-from repro.harness import experiment_config
+from repro.harness import configure_cache, experiment_config, run_suite
+from repro.workloads import COMPUTE_ORDER, MEMORY_ORDER
 
 #: Scale and machine used by every bench in this directory.
 BENCH_SCALE = "paper"
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def pytest_configure(config):
+    if os.environ.get("REPRO_NO_CACHE"):
+        configure_cache(enabled=False)
+        return
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") \
+        or _REPO_ROOT / ".repro-cache"
+    configure_cache(cache_dir)
 
 
 @pytest.fixture(scope="session")
 def bench_config():
     return experiment_config()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _prewarm_grid(bench_config):
+    """With ``REPRO_JOBS > 1``, run the whole grid in parallel up front so
+    the serial figure benches assemble their tables from cache hits."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if jobs > 1:
+        run_suite(COMPUTE_ORDER + MEMORY_ORDER, BENCH_SCALE, bench_config,
+                  jobs=jobs)
 
 
 def print_table(title, text):

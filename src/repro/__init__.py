@@ -12,4 +12,4 @@ Public API highlights:
 * :mod:`repro.harness` — per-figure experiment drivers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -19,10 +19,10 @@ import argparse
 import sys
 
 from .compiler import decouple, verify
-from .core import run_dac
 from .energy import area_report, energy_of
 from .harness import (
     ascii_table,
+    configure_cache,
     profile,
     experiment_config,
     fig6_report,
@@ -34,10 +34,38 @@ from .harness import (
     fig20_mta_coverage,
     fig21_energy,
     fig21_report,
+    run_one,
+    run_suite,
 )
+from .harness.parallel import run_grid
 from .isa import parse_kernel
-from .sim import simulate
-from .workloads import ALL_BENCHMARKS, get, table2
+from .workloads import (
+    ALL_BENCHMARKS,
+    COMPUTE_ORDER,
+    MEMORY_ORDER,
+    get,
+    table2,
+)
+
+
+def _add_harness_args(parser) -> None:
+    """Flags shared by the commands that simulate: parallelism and the
+    persistent result cache (see EXPERIMENTS.md)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan simulations out over N worker processes")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache location "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-dac)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+
+
+def _configure_harness(args) -> bool:
+    """Apply the shared cache flags; returns whether caching is on."""
+    use_cache = not args.no_cache
+    configure_cache(args.cache_dir, enabled=use_cache)
+    return use_cache
 
 
 def _cmd_list(args) -> int:
@@ -49,12 +77,10 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    use_cache = _configure_harness(args)
     config = experiment_config(args.sms)
-    launch = get(args.benchmark).launch(args.scale)
-    if args.technique == "dac":
-        result = run_dac(launch, config)
-    else:
-        result = simulate(launch, config.with_technique(args.technique))
+    result = run_one(args.benchmark.upper(), args.technique, args.scale,
+                     config, use_cache=use_cache)
     energy = energy_of(result)
     print(f"{args.benchmark} under {args.technique} "
           f"({args.scale} scale, {args.sms} SMs):")
@@ -76,15 +102,15 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    use_cache = _configure_harness(args)
     config = experiment_config(args.sms)
+    results = run_suite([args.benchmark.upper()], args.scale, config,
+                        jobs=args.jobs,
+                        use_cache=use_cache)[args.benchmark.upper()]
     rows = []
     base_cycles = None
     for technique in ("baseline", "cae", "mta", "dac"):
-        launch = get(args.benchmark).launch(args.scale)
-        if technique == "dac":
-            result = run_dac(launch, config)
-        else:
-            result = simulate(launch, config.with_technique(technique))
+        result = results[technique]
         if base_cycles is None:
             base_cycles = result.cycles
         rows.append([technique, result.cycles,
@@ -126,7 +152,39 @@ def _cmd_area(args) -> int:
     return 0
 
 
+#: Simulation grid each figure needs — used to prewarm caches in parallel
+#: before the (serial) figure drivers assemble their tables.
+_FIGURE_NEEDS = {
+    "fig6": ((), ()),                 # static analysis only
+    "fig16": ("all", ("baseline", "cae", "mta", "dac")),
+    "fig17": ("all", ("baseline", "dac")),
+    "fig18": ("compute", ("baseline", "cae", "dac")),
+    "fig19": ("memory", ("dac",)),
+    "fig20": ("memory", ("mta",)),
+    "fig21": ("all", ("baseline", "dac")),
+}
+
+
+def _prewarm_figures(names, scale, config, jobs) -> None:
+    orders = {"all": COMPUTE_ORDER + MEMORY_ORDER,
+              "compute": COMPUTE_ORDER, "memory": MEMORY_ORDER, "": []}
+    tasks = []
+    seen = set()
+    for name in names:
+        benches, techniques = _FIGURE_NEEDS.get(name, ((), ()))
+        for abbr in orders.get(benches, []):
+            for technique in techniques:
+                if (abbr, technique) not in seen:
+                    seen.add((abbr, technique))
+                    tasks.append((abbr, technique, config))
+    if tasks:
+        run_grid(tasks, scale, jobs=jobs,
+                 progress=lambda done, total, abbr, tech, _res: print(
+                     f"  [{done}/{total}] {abbr}/{tech}", file=sys.stderr))
+
+
 def _cmd_figures(args) -> int:
+    _configure_harness(args)
     config = experiment_config(args.sms)
     name = args.figure
 
@@ -162,6 +220,9 @@ def _cmd_figures(args) -> int:
             print(f"unknown figure {key!r}; choose from "
                   f"{', '.join(figures)} or 'all'", file=sys.stderr)
             return 2
+    if args.jobs > 1:
+        _prewarm_figures(names, args.scale, config, args.jobs)
+    for key in names:
         print(figures[key]())
         print()
     return 0
@@ -186,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dump raw counters (optionally a prefix)")
     run.add_argument("--profile", action="store_true",
                      help="print derived metrics (hit rates, utilization)")
+    _add_harness_args(run)
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare",
@@ -194,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", default="tiny",
                          choices=("tiny", "paper"))
     compare.add_argument("--sms", type=int, default=4)
+    _add_harness_args(compare)
     compare.set_defaults(func=_cmd_compare)
 
     dec = sub.add_parser("decouple", help="show a kernel's streams")
@@ -214,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("figure", nargs="?", default="all")
     figs.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
     figs.add_argument("--sms", type=int, default=4)
+    _add_harness_args(figs)
     figs.set_defaults(func=_cmd_figures)
 
     return parser

@@ -114,6 +114,18 @@ class GPUConfig:
         """The paper's Table 1 baseline."""
         return cls(**overrides)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUConfig":
+        """Inverse of :func:`dataclasses.asdict` (the JSON round-trip
+        path): rebuilds the nested sub-config dataclasses."""
+        data = dict(data)
+        nested = {"l1": CacheConfig, "l2": CacheConfig, "dram": DRAMConfig,
+                  "dac": DACConfig, "cae": CAEConfig, "mta": MTAConfig}
+        for name, sub_cls in nested.items():
+            if name in data and isinstance(data[name], dict):
+                data[name] = sub_cls(**data[name])
+        return cls(**data)
+
     def scaled(self, num_sms: int) -> "GPUConfig":
         """Same per-SM machine with ``num_sms`` SMs.  L2 *capacity* and
         MSHRs scale with the SM count (preserving per-SM cache pressure);

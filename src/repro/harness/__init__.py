@@ -1,4 +1,5 @@
-"""Experiment harness: runners, per-figure drivers, reporting."""
+"""Experiment harness: runners, caching, parallel fan-out, per-figure
+drivers, reporting."""
 
 from .experiments import (
     fig6_affine_potential,
@@ -13,6 +14,16 @@ from .experiments import (
     fig21_report,
     table2_classification,
 )
+from .diskcache import (
+    DiskCache,
+    cache_key,
+    default_cache_dir,
+    result_from_json,
+    result_from_json_dict,
+    result_to_json,
+    result_to_json_dict,
+)
+from .parallel import default_jobs, run_grid
 from .report import ascii_table, bar
 from .export import to_csv, to_json
 from .profile import Profile, profile
@@ -21,19 +32,26 @@ from .runner import (
     Geomean,
     TECHNIQUES,
     clear_cache,
+    configure_cache,
+    disk_cache,
     experiment_config,
     run_benchmark,
+    run_launch,
     run_one,
     run_suite,
+    simulate_launch,
 )
 
 __all__ = [
-    "Geomean", "TECHNIQUES", "ascii_table", "bar", "clear_cache",
+    "DiskCache", "Geomean", "Profile", "SweepPoint", "SweepResult",
+    "TECHNIQUES", "ascii_table", "bar", "cache_key", "clear_cache",
+    "configure_cache", "default_cache_dir", "default_jobs", "disk_cache",
     "experiment_config", "fig6_affine_potential", "fig6_report",
     "fig16_report", "fig16_speedup", "fig17_instruction_counts",
     "fig18_coverage", "fig19_affine_loads", "fig20_mta_coverage",
-    "fig21_energy", "fig21_report", "override", "profile", "Profile",
-    "run_benchmark", "run_one", "to_csv", "to_json",
-    "run_suite", "sweep", "SweepPoint", "SweepResult",
-    "table2_classification",
+    "fig21_energy", "fig21_report", "override", "profile",
+    "result_from_json", "result_from_json_dict", "result_to_json",
+    "result_to_json_dict", "run_benchmark", "run_grid", "run_launch",
+    "run_one", "run_suite", "simulate_launch", "sweep", "to_csv",
+    "to_json", "table2_classification",
 ]

@@ -10,9 +10,18 @@ import json
 def _rows(data: dict) -> tuple[list[str], list[list]]:
     """Normalize figure-driver output ({bench: value} or {bench: {k: v}})
     into a header + rows."""
+    if not data:
+        return ["benchmark"], []
     first = next(iter(data.values()))
     if isinstance(first, dict):
-        columns = list(first.keys())
+        # Union of keys across all rows in first-seen order: taking only
+        # the first row's keys silently drops columns that appear later
+        # (e.g. technique-specific counters).
+        columns = []
+        for values in data.values():
+            for key in values:
+                if key not in columns:
+                    columns.append(key)
         header = ["benchmark"] + columns
         rows = [[bench] + [values.get(c, "") for c in columns]
                 for bench, values in data.items()]

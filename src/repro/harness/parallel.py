@@ -1,0 +1,156 @@
+"""Multiprocess fan-out of the (benchmark × technique) simulation grid.
+
+Runs are independent, deterministic, and CPU-bound, so they parallelize
+trivially over a :class:`~concurrent.futures.ProcessPoolExecutor`: a
+worker re-runs the ordinary serial pipeline for its (benchmark, technique,
+config) cell and ships the finished :class:`RunResult` back.  Workers
+consult and feed the same on-disk cache as the parent (entries are written
+atomically, so concurrent writers are safe), and the parent installs every
+returned result into its in-process memo cache — after a parallel prewarm,
+the serial figure drivers run entirely on cache hits.
+
+Failures degrade gracefully: a task whose result (or arguments) will not
+pickle, a crashed worker, or a broken pool all fall back to running the
+affected tasks serially in the parent, so ``--jobs N`` can never produce
+less than the serial path would.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from ..config import GPUConfig
+from ..sim.gpu import RunResult
+
+#: Task: (benchmark abbr, technique, GPUConfig).
+Task = tuple
+
+
+def default_jobs() -> int:
+    """A sensible worker count: ``$REPRO_JOBS`` if set, else CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _worker(abbr: str, technique: str, scale: str, config: GPUConfig,
+            cache_dir) -> bytes:
+    """Top-level (hence picklable) worker body: one grid cell, run through
+    the ordinary serial pipeline inside the worker process.
+
+    The result ships back as a zlib-compressed pickle: the dominant
+    payload is the final device-memory image (mostly zeros, tens of MB
+    raw, ~100 KB compressed), and compressing beats pushing it through
+    the result pipe raw by an order of magnitude."""
+    from . import runner
+    use_cache = cache_dir is not None
+    if use_cache:
+        runner.configure_cache(cache_dir)
+    else:
+        runner.configure_cache(enabled=False)
+    result = runner.run_one(abbr, technique, scale, config,
+                            use_cache=use_cache)
+    return zlib.compress(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+
+def _run_serial(tasks, scale: str, use_cache: bool, results: dict,
+                progress, total: int) -> None:
+    from . import runner
+    for abbr, technique, config in tasks:
+        result = runner.run_one(abbr, technique, scale, config,
+                                use_cache=use_cache)
+        results[(abbr, technique, config)] = result
+        if progress is not None:
+            progress(len(results), total, abbr, technique, result)
+
+
+def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
+             use_cache: bool = True, progress=None) -> dict:
+    """Fan ``tasks`` — (abbr, technique) pairs or (abbr, technique,
+    config) triples — out over ``jobs`` worker processes.
+
+    Returns ``{(abbr, technique, config): RunResult}``.  Results are also
+    installed into the in-process memo cache (and, when enabled, written
+    to the disk cache by the workers), so subsequent serial calls hit.
+    ``progress(done, total, abbr, technique, result)`` fires per finished
+    run.  Worker or pickling failures fall back to serial execution.
+    """
+    from . import runner
+
+    norm: list[Task] = []
+    for task in tasks:
+        if len(task) == 2:
+            abbr, technique = task
+            config = runner.experiment_config()
+        else:
+            abbr, technique, config = task
+        norm.append((abbr, technique, config))
+
+    results: dict = {}
+    pending: list[Task] = []
+    for abbr, technique, config in norm:
+        if use_cache and runner.is_cached(abbr, technique, scale, config):
+            results[(abbr, technique, config)] = runner.run_one(
+                abbr, technique, scale, config)
+        else:
+            pending.append((abbr, technique, config))
+    total = len(norm)
+
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs <= 1 or len(pending) <= 1:
+        _run_serial(pending, scale, use_cache, results, progress, total)
+        return results
+
+    disk = runner.disk_cache() if use_cache else None
+    cache_dir = disk.root if disk is not None else None
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) \
+                as pool:
+            futures = {}
+            for task in pending:
+                abbr, technique, config = task
+                futures[pool.submit(_worker, abbr, technique, scale,
+                                    config, cache_dir)] = task
+            failed: list[Task] = []
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    abbr, technique, config = task
+                    exc = future.exception()
+                    if isinstance(exc, (BrokenProcessPool,
+                                        pickle.PicklingError, OSError)):
+                        failed.append(task)
+                        continue
+                    if exc is not None:
+                        raise exc
+                    result = pickle.loads(zlib.decompress(future.result()))
+                    if use_cache:
+                        runner._remember(abbr, technique, scale, config,
+                                         result)
+                    results[task] = result
+                    if progress is not None:
+                        progress(len(results), total, abbr, technique,
+                                 result)
+    except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+        print(f"repro: parallel execution failed ({exc!r}); "
+              f"falling back to serial", file=sys.stderr)
+        failed = [t for t in pending if t not in results]
+
+    if failed:
+        print(f"repro: re-running {len(failed)} task(s) serially after "
+              f"worker failure", file=sys.stderr)
+        _run_serial(failed, scale, use_cache, results, progress, total)
+    return results

@@ -76,8 +76,7 @@ def profile(result: RunResult) -> Profile:
         issue_utilization=_rate(total_insts, issue_slots),
         ipc_thread=result.ipc,
         l1_hit_rate=_rate(s["l1.hits"], s["l1.accesses"]),
-        l2_hit_rate=_rate(s["l2.accesses"] - s["l2.misses"],
-                          s["l2.accesses"]),
+        l2_hit_rate=_rate(s["l2.hits"], s["l2.accesses"]),
         dram_row_hit_rate=_rate(s["dram.row_hits"],
                                 s["dram.row_hits"] + s["dram.row_misses"]),
         memory_fraction=_rate(s["inst.memory"], s["warp_instructions"]),

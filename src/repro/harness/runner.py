@@ -1,9 +1,16 @@
-"""One-call benchmark running, with per-session memoization.
+"""One-call benchmark running, memoized in-process and (optionally) on disk.
 
 Every figure in the paper's evaluation is a view over the same set of runs
 (29 benchmarks × 4 techniques), so the harness runs each (benchmark,
-technique, scale, config) combination once and caches the result for the
-duration of the process.
+technique, scale, config) combination once and caches the result — in a
+process-local dict for the duration of the process, and, when a
+:class:`~repro.harness.diskcache.DiskCache` is configured via
+:func:`configure_cache`, in a content-addressed on-disk store that makes
+warm runs of any figure skip simulation entirely.
+
+All simulation goes through :func:`simulate_launch`, the single picklable
+dispatch point shared by the serial path, the multiprocess executor
+(:mod:`repro.harness.parallel`), the CLI, and the sweeps.
 """
 
 from __future__ import annotations
@@ -15,11 +22,14 @@ import numpy as np
 from ..config import GPUConfig
 from ..core import run_dac
 from ..sim.gpu import RunResult, simulate
+from ..sim.launch import KernelLaunch
 from ..workloads import get
+from .diskcache import DiskCache, cache_key, default_cache_dir
 
 TECHNIQUES = ("baseline", "cae", "mta", "dac")
 
 _cache: dict[tuple, RunResult] = {}
+_disk: DiskCache | None = None
 
 
 def experiment_config(num_sms: int = 4) -> GPUConfig:
@@ -29,8 +39,76 @@ def experiment_config(num_sms: int = 4) -> GPUConfig:
     return GPUConfig.gtx480().scaled(num_sms)
 
 
+# ---------------------------------------------------------------------------
+# Disk-cache configuration (process-wide; workers re-configure themselves).
+
+def configure_cache(cache_dir=None, enabled: bool = True) -> DiskCache | None:
+    """Set the process-wide on-disk result store.
+
+    ``cache_dir=None`` uses :func:`default_cache_dir`;
+    ``enabled=False`` turns the disk cache off (the in-process memo cache
+    is unaffected).  Returns the active cache, if any.
+    """
+    global _disk
+    if not enabled:
+        _disk = None
+        return None
+    _disk = DiskCache(cache_dir if cache_dir is not None
+                      else default_cache_dir())
+    return _disk
+
+
+def disk_cache() -> DiskCache | None:
+    """The currently configured on-disk store (``None`` when disabled)."""
+    return _disk
+
+
+# ---------------------------------------------------------------------------
+# Simulation entry points.
+
+def simulate_launch(launch: KernelLaunch, technique: str,
+                    config: GPUConfig) -> RunResult:
+    """Simulate one launch under one technique — the single, picklable
+    ``run_dac``/``simulate`` dispatch used by every harness path (and the
+    seam tests wrap to count simulations)."""
+    if technique == "dac":
+        result = run_dac(launch, config)
+    else:
+        result = simulate(launch, config.with_technique(technique))
+    result.extra["memory_words"] = launch.memory.words
+    return result
+
+
+def run_launch(launch: KernelLaunch, technique: str, config: GPUConfig,
+               use_cache: bool = True) -> RunResult:
+    """Simulate a launch, consulting and feeding the disk cache."""
+    disk = _disk if use_cache else None
+    key = None
+    if disk is not None:
+        key = cache_key(launch, technique, config)
+        cached = disk.load(key)
+        if cached is not None:
+            return cached
+    result = simulate_launch(launch, technique, config)
+    if disk is not None:
+        disk.store(key, result)
+    return result
+
+
 def _key(abbr: str, technique: str, scale: str, config: GPUConfig):
     return (abbr, technique, scale, config)
+
+
+def _remember(abbr: str, technique: str, scale: str, config: GPUConfig,
+              result: RunResult) -> None:
+    """Install an externally produced result (e.g. from a worker process)
+    into the in-process memo cache."""
+    _cache[_key(abbr, technique, scale, config)] = result
+
+
+def is_cached(abbr: str, technique: str, scale: str,
+              config: GPUConfig) -> bool:
+    return _key(abbr, technique, scale, config) in _cache
 
 
 def run_one(abbr: str, technique: str = "baseline", scale: str = "paper",
@@ -41,13 +119,8 @@ def run_one(abbr: str, technique: str = "baseline", scale: str = "paper",
     key = _key(abbr, technique, scale, config)
     if use_cache and key in _cache:
         return _cache[key]
-    benchmark = get(abbr)
-    launch = benchmark.launch(scale)
-    if technique == "dac":
-        result = run_dac(launch, config)
-    else:
-        result = simulate(launch, config.with_technique(technique))
-    result.extra["memory_words"] = launch.memory.words
+    launch = get(abbr).launch(scale)
+    result = run_launch(launch, technique, config, use_cache=use_cache)
     result.extra["abbr"] = abbr
     if use_cache:
         _cache[key] = result
@@ -72,7 +145,21 @@ def run_benchmark(abbr: str, scale: str = "paper",
 def run_suite(abbrs, scale: str = "paper",
               config: GPUConfig | None = None,
               techniques=TECHNIQUES,
-              progress=None) -> dict[str, dict[str, RunResult]]:
+              progress=None, jobs: int = 1,
+              use_cache: bool = True) -> dict[str, dict[str, RunResult]]:
+    """Run the (benchmark × technique) grid.
+
+    With ``jobs > 1`` the grid is fanned out over worker processes first
+    (falling back to serial on worker failure); results land in the memo
+    and disk caches, so the per-benchmark assembly below is all hits.
+    """
+    config = config or experiment_config()
+    abbrs = list(abbrs)
+    if jobs and jobs > 1:
+        from .parallel import run_grid
+        run_grid([(abbr, tech, config) for abbr in abbrs
+                  for tech in techniques],
+                 scale, jobs=jobs, use_cache=use_cache)
     out = {}
     for abbr in abbrs:
         out[abbr] = run_benchmark(abbr, scale, config, techniques)
@@ -82,6 +169,8 @@ def run_suite(abbrs, scale: str = "paper",
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo cache (the disk cache is untouched; use
+    ``disk_cache().clear()`` for that)."""
     _cache.clear()
 
 

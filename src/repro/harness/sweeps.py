@@ -4,6 +4,11 @@ A sweep varies one knob of the machine (a nested ``GPUConfig`` field, the
 technique, or the SM count) across a list of values and reports each
 variant's speedup over a shared baseline.  Used by the ablation benches and
 ``examples/design_space.py``.
+
+Sweep points go through the same cached/parallel pipeline as the figure
+grid: each variant is one (benchmark, technique, config) cell, so warm
+sweeps load from the disk cache and ``jobs > 1`` fans variants out over
+worker processes.
 """
 
 from __future__ import annotations
@@ -12,9 +17,6 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..config import GPUConfig
-from ..core import run_dac
-from ..sim import simulate
-from ..workloads import get
 
 
 def override(config: GPUConfig, path: str, value) -> GPUConfig:
@@ -54,19 +56,24 @@ class SweepResult:
 
 def sweep(benchmark: str, knob: str, values, config: GPUConfig,
           technique: str = "dac", scale: str = "paper",
-          keep_stats: tuple[str, ...] = ()) -> SweepResult:
+          keep_stats: tuple[str, ...] = (), jobs: int = 1,
+          use_cache: bool = True) -> SweepResult:
     """Run ``benchmark`` once per knob value; speedups are against the
     *baseline technique on the unmodified config*."""
-    bench = get(benchmark)
-    base = simulate(bench.launch(scale), config)
+    from .runner import run_one
+
+    variants = [override(config, knob, value) for value in values]
+    if jobs and jobs > 1:
+        from .parallel import run_grid
+        run_grid([(benchmark, "baseline", config)]
+                 + [(benchmark, technique, v) for v in variants],
+                 scale, jobs=jobs, use_cache=use_cache)
+    base = run_one(benchmark, "baseline", scale, config,
+                   use_cache=use_cache)
     points = []
-    for value in values:
-        variant = override(config, knob, value)
-        launch = bench.launch(scale)
-        if technique == "dac":
-            result = run_dac(launch, variant)
-        else:
-            result = simulate(launch, variant.with_technique(technique))
+    for value, variant in zip(values, variants):
+        result = run_one(benchmark, technique, scale, variant,
+                         use_cache=use_cache)
         points.append(SweepPoint(
             value=value, cycles=result.cycles,
             speedup=base.cycles / result.cycles,

@@ -146,7 +146,23 @@ class SetAssocCache:
         # MSHR), and stopping after one would strand the rest forever.
         while self._mshr_wait and len(self._mshrs) < self.config.num_mshrs:
             addr, cb, lock = self._mshr_wait.popleft()
-            self.read(addr, now, cb, lock)
+            self._retry(addr, now, cb, lock)
+
+    def _retry(self, line_addr: int, now: int,
+               callback: Callable[[int], None], lock: bool) -> None:
+        """Re-issue a request that stalled waiting for an MSHR.  Stats and
+        port admission were already charged when the request first arrived,
+        so this path must not go back through :meth:`read` — doing so would
+        double-count ``accesses``/``misses`` and pay ``_admit`` twice."""
+        line = self._lookup(line_addr)
+        if line is not None:
+            self._use_clock += 1
+            line.last_use = self._use_clock
+            if lock:
+                line.lock_count += 1
+            self.events.schedule(now + self.config.hit_latency, callback)
+            return
+        self._miss(line_addr, now, callback, lock)
 
     def _insert(self, line_addr: int, lock_count: int) -> None:
         ways = self._sets[self._set_index(line_addr)]

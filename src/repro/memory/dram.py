@@ -38,6 +38,7 @@ class DRAM:
         self._queues: list[deque] = [deque() for _ in range(n)]
         self._bank_free = [0] * n
         self._open_row = [-1] * n
+        self._pending_kick = [False] * n
         self._bus_free = 0.0
         self._pipe_in = config.latency // 2
         self._pipe_out = config.latency - config.latency // 2
@@ -77,10 +78,23 @@ class DRAM:
 
     # ---- FR-FCFS service ---------------------------------------------------
 
+    def _schedule_kick(self, bank: int, time: int) -> None:
+        """Schedule a service attempt, keeping at most one outstanding per
+        bank.  Without the guard every arrival during a busy window queues
+        its own retry, and deep per-bank queues degenerate into O(N²)
+        event churn."""
+        if self._pending_kick[bank]:
+            return
+        self._pending_kick[bank] = True
+        self.events.schedule(time, lambda t, b=bank: self._on_kick(b, t))
+
+    def _on_kick(self, bank: int, now: int) -> None:
+        self._pending_kick[bank] = False
+        self._kick(bank, now)
+
     def _kick(self, bank: int, now: int) -> None:
         if now < self._bank_free[bank]:
-            self.events.schedule(self._bank_free[bank],
-                                 lambda t, b=bank: self._kick(b, t))
+            self._schedule_kick(bank, self._bank_free[bank])
             return
         queue = self._queues[bank]
         if not queue:
@@ -112,7 +126,7 @@ class DRAM:
                          + self._pipe_out)
             self.events.schedule(finish, cb)
         if queue:
-            self.events.schedule(done, lambda t, b=bank: self._kick(b, t))
+            self._schedule_kick(bank, done)
 
 
 class PerfectMemory:

@@ -3,6 +3,18 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness import clear_cache, configure_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(tmp_path, monkeypatch):
+    """CLI commands configure the process-wide disk cache; point its
+    default at a per-test directory and reset afterwards so no state
+    leaks into other test modules (or the user's real cache)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+    configure_cache(enabled=False)
+    clear_cache()
 
 
 class TestParser:
@@ -14,6 +26,17 @@ class TestParser:
         args = build_parser().parse_args(["run", "LIB"])
         assert args.technique == "dac"
         assert args.scale == "tiny"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_harness_flags(self):
+        args = build_parser().parse_args(
+            ["figures", "fig16", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--no-cache"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
 
     def test_bad_technique_rejected(self):
         with pytest.raises(SystemExit):
@@ -45,6 +68,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "affine warp insts" in out
         assert "dac.records" in out
+
+    def test_run_no_cache(self, capsys):
+        assert main(["run", "CS", "--technique", "baseline", "--sms", "2",
+                     "--no-cache"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_run_warm_from_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "warm")
+        argv = ["run", "CS", "--technique", "baseline", "--sms", "2",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        clear_cache()
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
 
     def test_compare(self, capsys):
         assert main(["compare", "CS", "--sms", "2"]) == 0

@@ -193,6 +193,66 @@ class TestCache:
         assert not cache.contains(4 * 128)
         assert stats["l1.locked_bypass"] == 1
 
+    def test_mshr_pressure_no_double_counting(self):
+        """Regression: requests drained from the MSHR-wait queue used to
+        re-enter ``read`` and re-increment accesses/misses (and pay the
+        admission port twice).  Under forced MSHR pressure, accesses must
+        equal the number of issued requests exactly."""
+        cache, backing, events, stats = make_cache(mshrs=2)
+        done = []
+        for i in range(8):
+            cache.read(0x1000 + i * 128, 0, lambda t, i=i: done.append(i))
+        _drain(events)
+        assert sorted(done) == list(range(8))
+        assert stats["l1.mshr_stalls"] > 0
+        assert stats["l1.accesses"] == 8
+        assert stats["l1.misses"] == 8
+        assert stats["l1.hits"] == 0
+        assert stats["l1.hits"] + stats["l1.misses"] == \
+            stats["l1.accesses"]
+
+    def test_mshr_retry_hit_not_recounted(self):
+        """A stalled request whose line is filled by the time it retries
+        is delivered via the hit path but counted only once (as the miss
+        it was on arrival)."""
+        cache, backing, events, stats = make_cache(mshrs=1)
+        done = []
+        cache.read(0x8000, 0, lambda t: done.append("x"))    # holds MSHR
+        cache.read(0x1000, 0, lambda t: done.append("a1"))   # stalls
+        cache.read(0x1000, 0, lambda t: done.append("a2"))   # stalls too
+        _drain(events)
+        assert sorted(done) == ["a1", "a2", "x"]
+        assert stats["l1.accesses"] == 3
+        assert stats["l1.hits"] + stats["l1.misses"] == \
+            stats["l1.accesses"]
+
+    def test_mshr_pressure_identity_with_rehits(self):
+        """hits + misses == accesses across a mixed stall/hit/merge mix."""
+        cache, backing, events, stats = make_cache(mshrs=2)
+        issued = 0
+        for round_start in (0, 5000):
+            for i in range(10):
+                cache.read(0x2000 + (i % 6) * 128, round_start + i,
+                           lambda t: None)
+                issued += 1
+            _drain(events)
+        assert stats["l1.accesses"] == issued
+        assert stats["l1.hits"] + stats["l1.misses"] == \
+            stats["l1.accesses"]
+        assert stats["l1.hits"] > 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=120))
+    @settings(max_examples=30)
+    def test_property_stat_identity_under_pressure(self, line_ids):
+        cache, backing, events, stats = make_cache(mshrs=3)
+        for i, lid in enumerate(line_ids):
+            cache.read(lid * 128, i, lambda t: None)
+        _drain(events)
+        assert stats["l1.accesses"] == len(line_ids)
+        assert stats["l1.hits"] + stats["l1.misses"] == \
+            stats["l1.accesses"]
+
     @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
                     max_size=120))
     @settings(max_examples=30)
@@ -272,6 +332,41 @@ class TestDRAM:
         dram.write(0, 0)
         _drain(events)
         assert stats["dram.writes"] == 1
+
+    def test_deep_bank_queue_linear_event_churn(self):
+        """Regression: every arrival while a bank was busy used to
+        schedule its own retry, so a K-deep queue cost O(K^2) events.
+        With one pending kick per bank the total stays O(K)."""
+        dram, events, stats = self.make(num_banks=1)
+        scheduled = [0]
+        real_schedule = events.schedule
+
+        def counting(time, callback):
+            scheduled[0] += 1
+            real_schedule(time, callback)
+
+        events.schedule = counting
+        k = 60
+        done = []
+        for i in range(k):
+            # Alternate rows so FR-FCFS stays exercised.
+            dram.read((i % 2) * 16 * 128 + i * 128, 0,
+                      lambda t, i=i: done.append(i))
+        _drain(events)
+        assert sorted(done) == list(range(k))
+        # Arrival + kick + completion per request, plus slack: old code
+        # needed ~K^2/2 (~1800) schedules here.
+        assert scheduled[0] <= 6 * k
+
+    def test_at_most_one_pending_kick_per_bank(self):
+        dram, events, stats = self.make(num_banks=2)
+        for i in range(20):
+            dram.read(i * 128, 0, lambda t: None)
+        # Let arrivals land, then check the guard while banks are busy.
+        events.run_until(dram._pipe_in)
+        assert all(isinstance(p, bool) for p in dram._pending_kick)
+        _drain(events)
+        assert dram._pending_kick == [False, False]
 
     @given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1,
                     max_size=100))

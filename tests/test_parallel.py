@@ -1,0 +1,119 @@
+"""Tests for the multiprocess grid executor: bit-identical results,
+memo-cache installation, and graceful serial fallback on worker failure."""
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.harness import (
+    clear_cache,
+    configure_cache,
+    experiment_config,
+    run_suite,
+)
+from repro.harness import parallel, runner
+from repro.harness.parallel import default_jobs, run_grid
+
+CFG = experiment_config(num_sms=2)
+ABBRS = ["CP", "LIB", "ST"]
+TECHS = ("baseline", "dac")
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache():
+    clear_cache()
+    configure_cache(enabled=False)
+    yield
+    clear_cache()
+
+
+def test_parallel_suite_bit_identical_to_serial():
+    """Acceptance criterion: --jobs N produces the same RunResult stats,
+    bit for bit, as a serial run."""
+    serial = run_suite(ABBRS, "tiny", CFG, techniques=TECHS)
+    clear_cache()
+    par = run_suite(ABBRS, "tiny", CFG, techniques=TECHS, jobs=2)
+    for abbr in ABBRS:
+        for tech in TECHS:
+            assert par[abbr][tech].cycles == serial[abbr][tech].cycles
+            assert par[abbr][tech].stats.as_dict() == \
+                serial[abbr][tech].stats.as_dict()
+
+
+def test_run_grid_installs_into_memo_cache(monkeypatch):
+    tasks = [(a, t, CFG) for a in ABBRS[:2] for t in TECHS]
+    results = run_grid(tasks, "tiny", jobs=2)
+    assert set(results) == set(tasks)
+    for abbr, tech, config in tasks:
+        assert runner.is_cached(abbr, tech, "tiny", config)
+    # The grid results now serve the serial path without simulating.
+    calls = []
+    real = runner.simulate_launch
+    monkeypatch.setattr(
+        runner, "simulate_launch",
+        lambda *a: (calls.append(a), real(*a))[1])
+    run_suite(ABBRS[:2], "tiny", CFG, techniques=TECHS)
+    assert calls == []
+
+
+def test_run_grid_reports_progress():
+    seen = []
+    run_grid([(a, "baseline", CFG) for a in ABBRS], "tiny", jobs=2,
+             progress=lambda done, total, abbr, tech, res: seen.append(
+                 (done, total, abbr, tech, res.cycles)))
+    assert len(seen) == len(ABBRS)
+    assert {s[2] for s in seen} == set(ABBRS)
+    assert all(s[1] == len(ABBRS) for s in seen)
+
+
+class _BrokenPool:
+    """Stand-in executor whose construction fails like an exhausted
+    system (fork failure)."""
+
+    def __init__(self, *a, **kw):
+        raise OSError("cannot fork")
+
+
+class _DeadWorkerPool:
+    """Stand-in executor whose futures all die with BrokenProcessPool."""
+
+    def __init__(self, *a, **kw):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        future = concurrent.futures.Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+
+@pytest.mark.parametrize("pool_cls", [_BrokenPool, _DeadWorkerPool])
+def test_fallback_to_serial_on_worker_failure(monkeypatch, capsys, pool_cls):
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", pool_cls)
+    serial = run_suite(ABBRS[:2], "tiny", CFG, techniques=("baseline",))
+    clear_cache()
+    par = run_suite(ABBRS[:2], "tiny", CFG, techniques=("baseline",),
+                    jobs=4)
+    for abbr in ABBRS[:2]:
+        assert par[abbr]["baseline"].cycles == \
+            serial[abbr]["baseline"].cycles
+
+
+def test_serial_path_taken_for_single_task(monkeypatch):
+    # One pending task never pays for a process pool.
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _BrokenPool)
+    results = run_grid([("CP", "baseline", CFG)], "tiny", jobs=8)
+    assert len(results) == 1
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert default_jobs() == 7
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    assert default_jobs() >= 1

@@ -50,6 +50,21 @@ class TestProfile:
         prof = profile(result)
         assert 0 <= prof.divergence_rate <= 1
 
+    def test_hit_rate_identity(self):
+        """Regression: L1 used hits/accesses while L2 used
+        (accesses - misses)/accesses.  With MSHR retries counted once,
+        both identities hold and both levels use hits/accesses."""
+        result = simulate(get("ST").launch("tiny"), CFG)
+        s = result.stats
+        for level in ("l1", "l2"):
+            assert s[f"{level}.hits"] + s[f"{level}.misses"] == \
+                s[f"{level}.accesses"]
+        prof = profile(result)
+        assert prof.l1_hit_rate == pytest.approx(
+            s["l1.hits"] / s["l1.accesses"])
+        assert prof.l2_hit_rate == pytest.approx(
+            s["l2.hits"] / s["l2.accesses"])
+
 
 class TestExport:
     def test_csv_nested(self, tmp_path):
@@ -73,6 +88,21 @@ class TestExport:
         text = to_json(data, str(path))
         assert json.loads(text) == data
         assert json.loads(path.read_text()) == data
+
+    def test_csv_union_of_columns(self):
+        """Regression: columns were taken from the first row only,
+        silently dropping keys introduced by later rows."""
+        data = {"A": {"x": 1.0}, "B": {"x": 2.0, "y": 3.0},
+                "C": {"z": 4.0}}
+        rows = list(csv.reader(io.StringIO(to_csv(data))))
+        assert rows[0] == ["benchmark", "x", "y", "z"]
+        assert rows[1] == ["A", "1.0", "", ""]
+        assert rows[2] == ["B", "2.0", "3.0", ""]
+        assert rows[3] == ["C", "", "", "4.0"]
+
+    def test_csv_empty_data(self):
+        rows = list(csv.reader(io.StringIO(to_csv({}))))
+        assert rows == [["benchmark"]]
 
     def test_export_real_figure(self):
         from repro.harness import fig6_affine_potential

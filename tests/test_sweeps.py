@@ -41,3 +41,18 @@ class TestSweep:
         result = sweep("CS", "mta.prefetch_degree", [0, 4], cfg,
                        technique="mta", scale="tiny")
         assert len(result.points) == 2
+
+    def test_sweep_parallel_matches_serial(self):
+        from repro.harness import clear_cache
+        cfg = experiment_config(num_sms=2)
+        clear_cache()
+        serial = sweep("CS", "dac.pwaq_entries", [48, 192], cfg,
+                       scale="tiny", use_cache=False)
+        clear_cache()
+        par = sweep("CS", "dac.pwaq_entries", [48, 192], cfg,
+                    scale="tiny", jobs=2)
+        assert [p.cycles for p in par.points] == \
+            [p.cycles for p in serial.points]
+        assert [p.speedup for p in par.points] == \
+            [p.speedup for p in serial.points]
+        clear_cache()
