@@ -5,6 +5,8 @@ Commands:
 * ``list`` — the Table 2 benchmark registry;
 * ``run ABBR`` — simulate one benchmark under one technique;
 * ``compare ABBR`` — all four techniques side by side;
+* ``trace ABBR`` — traced run: stall attribution, Chrome trace JSON,
+  queue-occupancy CSV;
 * ``decouple ABBR | --file F`` — show a kernel's affine / non-affine
   streams and the verifier's verdict;
 * ``table1`` — the simulated machine configuration;
@@ -39,6 +41,12 @@ from .harness import (
 )
 from .harness.parallel import run_grid
 from .isa import parse_kernel
+from .trace import (
+    Tracer,
+    stall_report,
+    write_chrome_trace,
+    write_occupancy_csv,
+)
 from .workloads import (
     ALL_BENCHMARKS,
     COMPUTE_ORDER,
@@ -121,6 +129,26 @@ def _cmd_compare(args) -> int:
     print(ascii_table(["technique", "cycles", "speedup", "instructions",
                        "energy (uJ)"], rows,
                       f"{args.benchmark} at {args.scale} scale"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    tracer = Tracer(sample_interval=args.sample,
+                    trace_memory=not args.no_memory)
+    config = experiment_config(args.sms)
+    result = run_one(args.benchmark.upper(), args.technique, args.scale,
+                     config, use_cache=False, trace=tracer)
+    print(f"{args.benchmark} under {args.technique} "
+          f"({args.scale} scale, {args.sms} SMs): "
+          f"{result.cycles:,} cycles, {len(tracer.events):,} events")
+    print()
+    print(stall_report(result, tracer))
+    write_chrome_trace(tracer, args.out)
+    print(f"\nChrome trace written to {args.out} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.csv:
+        write_occupancy_csv(tracer, args.csv)
+        print(f"occupancy time series written to {args.csv}")
     return 0
 
 
@@ -258,6 +286,24 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sms", type=int, default=4)
     _add_harness_args(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="traced run: stall attribution + Chrome trace")
+    trace.add_argument("benchmark")
+    trace.add_argument("--technique", default="dac",
+                       choices=("baseline", "cae", "mta", "dac"))
+    trace.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
+    trace.add_argument("--sms", type=int, default=4)
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="Chrome trace JSON destination "
+                            "(default: trace.json)")
+    trace.add_argument("--csv", default=None, metavar="FILE",
+                       help="also write the queue-occupancy time series")
+    trace.add_argument("--sample", type=int, default=64, metavar="N",
+                       help="occupancy sampling interval in cycles")
+    trace.add_argument("--no-memory", action="store_true",
+                       help="skip per-access cache events (smaller trace)")
+    trace.set_defaults(func=_cmd_trace)
 
     dec = sub.add_parser("decouple", help="show a kernel's streams")
     dec.add_argument("benchmark", nargs="?")

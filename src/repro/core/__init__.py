@@ -20,7 +20,8 @@ from .queues import ATQ, AddressRecord, BarrierMarker, PerWarpQueue, \
 
 
 def run_dac(launch: KernelLaunch, config: GPUConfig,
-            program: DecoupledProgram | None = None) -> RunResult:
+            program: DecoupledProgram | None = None,
+            tracer=None) -> RunResult:
     """Decouple the launch's kernel and simulate it under DAC.
 
     When the kernel has no eligible affine instructions the non-affine
@@ -33,7 +34,8 @@ def run_dac(launch: KernelLaunch, config: GPUConfig,
         if not report.ok:
             raise RuntimeError(f"decoupler produced inconsistent streams "
                                f"for {launch.kernel.name!r}:\n{report}")
-    gpu = GPU(config.with_technique("dac"), dac_program=program)
+    gpu = GPU(config.with_technique("dac"), dac_program=program,
+              tracer=tracer)
     decoupled_launch = KernelLaunch(
         kernel=program.nonaffine,
         grid_dim=launch.grid_dim,

@@ -253,7 +253,7 @@ class AffineCTAExec:
             return
         mask = self.effective_mask(inst)
         if inst.is_enq:
-            self._step_enq(inst, mask)
+            self._step_enq(inst, mask, now)
             self.stack.pc = pc + 1
             return
         self._step_alu(inst, mask)
@@ -299,7 +299,8 @@ class AffineCTAExec:
         if self.stack.depth > self.sm.config.dac.stack_depth:
             stats.add("dac.stack_overflows")
 
-    def _step_enq(self, inst: Instruction, mask: np.ndarray) -> None:
+    def _step_enq(self, inst: Instruction, mask: np.ndarray,
+                  now: int) -> None:
         if not mask.any():
             return
         cta_key = id(self.cta)
@@ -317,6 +318,9 @@ class AffineCTAExec:
             entry.dcrf = self.dcrf
             self.sm.atq_mem.push(cta_key, entry)
         self.sm.stats.add("dac.atq_pushes")
+        if self.sm.trace_on:
+            self.sm.tracer.enqueue(now, self.sm.index, entry.kind,
+                                   inst.queue_id)
 
     def _step_alu(self, inst: Instruction, mask: np.ndarray) -> None:
         if not mask.any():

@@ -116,6 +116,37 @@ class DACSM(SM):
                 return self._try_issue_deq(warp, inst, kind, now)
         return super().try_issue(warp, now, scheduler)
 
+    # ---- stall diagnosis (tracing only; must not mutate) ---------------
+
+    def diagnose_warp(self, warp, now: int) -> str | None:
+        if warp is self.affine_handle:
+            # The affine warp only blocks on ATQ space for an enqueue
+            # (``ready`` is unconditionally True for everything else).
+            for exec_ in self.affine_handle.execs:
+                if exec_.current_instruction() is not None:
+                    return "queue_full"
+            return None
+        if isinstance(warp, WarpContext) and not warp.done \
+                and not warp.at_barrier:
+            inst = warp.launch.kernel.instructions[warp.pc]
+            kind = _deq_kind(inst)
+            if kind is not None:
+                if not warp.regs_ready(inst):
+                    return "memory" if warp.mem_pending else "scoreboard"
+                if kind == "pred":
+                    if warp.pwpq.head() is None:
+                        return "queue_empty"
+                    return "other"
+                record = warp.pwaq.head()
+                if record is None:
+                    return "queue_empty"
+                if kind == "data" and record.fills_remaining > 0:
+                    return "memory"          # expanded, data not yet in L1
+                if now < self.lsu_free:
+                    return "memory"
+                return "other"
+        return super().diagnose_warp(warp, now)
+
     # ---- affine warp issue ----------------------------------------------
 
     def _try_issue_affine(self, now: int) -> int:
@@ -134,15 +165,19 @@ class DACSM(SM):
             stats.add("dac.concrete_fallbacks")
             stats.add("affine_alu_lanes", 32 * warps)
             stats.add("rf_accesses", 2 * warps)
-            return self.config.issue_interval * warps
-        if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
-            # Tuple computation maps one base + up to 6 offsets onto SIMT
-            # lanes (§4.4, Fig. 12).
-            stats.add("affine_alu_lanes", 7)
-            stats.add("rf_accesses", 2)
-        # Affine instructions occupy a scheduler slot for a single cycle:
-        # a tuple fits comfortably in one 16-lane issue group.
-        return 1
+            interval = self.config.issue_interval * warps
+        else:
+            if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
+                # Tuple computation maps one base + up to 6 offsets onto
+                # SIMT lanes (§4.4, Fig. 12).
+                stats.add("affine_alu_lanes", 7)
+                stats.add("rf_accesses", 2)
+            # Affine instructions occupy a scheduler slot for a single
+            # cycle: a tuple fits comfortably in one 16-lane issue group.
+            interval = 1
+        if self.trace_on:
+            self.tracer.warp_issue(now, self.index, -1, inst, 0, interval)
+        return interval
 
     # ---- dequeue issue -------------------------------------------------
 
@@ -154,6 +189,9 @@ class DACSM(SM):
             # nothing is popped (matches the AEU skipping empty warps).
             self._count_issue(warp, inst, 0)
             warp.stack.pc = warp.pc + 1
+            if self.trace_on:
+                self.tracer.warp_issue(now, self.index, warp.slot, inst, 0,
+                                       self.config.issue_interval)
             return self.config.issue_interval
 
         if kind == "pred":
@@ -163,6 +201,9 @@ class DACSM(SM):
                 return 0
             warp.pwpq.pop()
             self.stats.add("dac.deq_preds")
+            if self.trace_on:
+                self.tracer.dequeue(now, self.index, warp.slot, "pred",
+                                    record.queue_id)
             dst = inst.dsts[0]
             warp.executor.write(dst, record.bits, mask)
             warp.acquire(dst.name)
@@ -171,6 +212,10 @@ class DACSM(SM):
                 lambda t, w=warp, n=dst.name: w.release(n))
             self._count_issue(warp, inst, int(mask.sum()))
             warp.stack.pc = warp.pc + 1
+            if self.trace_on:
+                self.tracer.warp_issue(now, self.index, warp.slot, inst,
+                                       int(mask.sum()),
+                                       self.config.issue_interval)
             return self.config.issue_interval
 
         record = warp.pwaq.head()
@@ -198,6 +243,12 @@ class DACSM(SM):
             self._finish_deq_store(warp, inst, record, mask, now)
         self._count_issue(warp, inst, int(mask.sum()))
         warp.stack.pc = warp.pc + 1
+        if self.trace_on:
+            self.tracer.dequeue(now, self.index, warp.slot, record.kind,
+                                record.queue_id)
+            self.tracer.warp_issue(now, self.index, warp.slot, inst,
+                                   int(mask.sum()),
+                                   self.config.issue_interval)
         return self.config.issue_interval
 
     def _finish_deq_load(self, warp: WarpContext, inst: Instruction,

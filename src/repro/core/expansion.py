@@ -132,13 +132,17 @@ class AddressExpansionUnit(ExpansionUnit):
         # One ALU: one accumulated line address per cycle (Fig. 11 ②③).
         self.busy_until = now + max(1, len(lines))
         stats.add("dac.aeu_alu_cycles", max(1, len(lines)))
+        if self.sm.trace_on:
+            self.sm.tracer.expand(now, self.sm.index, warp.slot, entry.kind,
+                                  entry.queue_id, len(lines))
         self._advance(entry, exec_, key)
         return True
 
-    @staticmethod
-    def _on_fill(record: AddressRecord, now: int) -> None:
+    def _on_fill(self, record: AddressRecord, now: int) -> None:
         record.fills_remaining -= 1
         record.fill_time = max(record.fill_time, now)
+        if record.fills_remaining == 0 and self.sm.trace_on:
+            self.sm.tracer.record_fill(now, self.sm.index, record.queue_id)
 
 
 class PredicateExpansionUnit(ExpansionUnit):

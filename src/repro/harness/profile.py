@@ -4,9 +4,10 @@ behaviour, DAC pipeline health)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..sim.gpu import RunResult
+from ..trace.export import stall_buckets
 
 
 @dataclass
@@ -26,6 +27,8 @@ class Profile:
     dac_load_fraction: float       # affine-issued load lines / all lines
     dac_lead_cycles: float         # mean fill-to-dequeue slack
     mta_accuracy: float            # useful / issued prefetches
+    stall_breakdown: dict = field(default_factory=dict)
+    # per-slot attribution shares (traced runs only; sums to 1.0)
 
     def report(self) -> str:
         rows = [
@@ -50,6 +53,9 @@ class Profile:
         if self.mta_accuracy:
             rows.append(("MTA prefetch accuracy",
                          f"{self.mta_accuracy:.1%}"))
+        for reason, share in sorted(self.stall_breakdown.items(),
+                                    key=lambda kv: -kv[1]):
+            rows.append((f"issue slot: {reason}", f"{share:.1%}"))
         width = max(len(name) for name, _ in rows)
         return "\n".join(f"{name:<{width}}  {value}"
                          for name, value in rows)
@@ -69,6 +75,10 @@ def profile(result: RunResult) -> Profile:
     deqs = s["dac.deq_loads"]
     all_load_lines = s["dac.affine_load_lines"] + s["gmem_load_lines"]
     prefetches = s["mta.prefetches"]
+    buckets = stall_buckets(s)
+    slot_total = sum(buckets.values())
+    breakdown = {reason: cyc / slot_total
+                 for reason, cyc in buckets.items()} if slot_total else {}
     return Profile(
         cycles=result.cycles,
         warp_instructions=s["warp_instructions"],
@@ -85,4 +95,5 @@ def profile(result: RunResult) -> Profile:
         dac_lead_cycles=_rate(s["dac.lead_cycles"], deqs),
         mta_accuracy=_rate(prefetches - s["mta.useless_prefetches"],
                            prefetches),
+        stall_breakdown=breakdown,
     )

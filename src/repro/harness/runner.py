@@ -67,29 +67,38 @@ def disk_cache() -> DiskCache | None:
 # Simulation entry points.
 
 def simulate_launch(launch: KernelLaunch, technique: str,
-                    config: GPUConfig) -> RunResult:
+                    config: GPUConfig, tracer=None) -> RunResult:
     """Simulate one launch under one technique — the single, picklable
     ``run_dac``/``simulate`` dispatch used by every harness path (and the
     seam tests wrap to count simulations)."""
     if technique == "dac":
-        result = run_dac(launch, config)
+        result = run_dac(launch, config, tracer=tracer)
     else:
-        result = simulate(launch, config.with_technique(technique))
+        result = simulate(launch, config.with_technique(technique),
+                          tracer=tracer)
     result.extra["memory_words"] = launch.memory.words
     return result
 
 
 def run_launch(launch: KernelLaunch, technique: str, config: GPUConfig,
-               use_cache: bool = True) -> RunResult:
-    """Simulate a launch, consulting and feeding the disk cache."""
-    disk = _disk if use_cache else None
+               use_cache: bool = True, tracer=None) -> RunResult:
+    """Simulate a launch, consulting and feeding the disk cache.  Traced
+    runs bypass the disk cache entirely: cached results carry no trace, and
+    a traced result must not be stored where untraced readers expect a
+    plain one."""
+    disk = _disk if (use_cache and tracer is None) else None
     key = None
     if disk is not None:
         key = cache_key(launch, technique, config)
         cached = disk.load(key)
         if cached is not None:
             return cached
-    result = simulate_launch(launch, technique, config)
+    if tracer is not None:
+        result = simulate_launch(launch, technique, config, tracer=tracer)
+    else:
+        # No kwarg on the untraced path: callers (and tests) may wrap
+        # ``simulate_launch`` with positional-only shims.
+        result = simulate_launch(launch, technique, config)
     if disk is not None:
         disk.store(key, result)
     return result
@@ -113,16 +122,28 @@ def is_cached(abbr: str, technique: str, scale: str,
 
 def run_one(abbr: str, technique: str = "baseline", scale: str = "paper",
             config: GPUConfig | None = None,
-            use_cache: bool = True) -> RunResult:
-    """Simulate one benchmark under one technique (memoized)."""
+            use_cache: bool = True, trace=None) -> RunResult:
+    """Simulate one benchmark under one technique (memoized).
+
+    ``trace`` may be ``True`` (build a fresh :class:`~repro.trace.Tracer`)
+    or a ready tracer instance.  Traced runs bypass both the memo and disk
+    caches and attach the tracer as ``result.extra["tracer"]``.
+    """
     config = config or experiment_config()
+    tracer = None
+    if trace:
+        from ..trace import Tracer
+        tracer = trace if not isinstance(trace, bool) else Tracer()
     key = _key(abbr, technique, scale, config)
-    if use_cache and key in _cache:
+    if tracer is None and use_cache and key in _cache:
         return _cache[key]
     launch = get(abbr).launch(scale)
-    result = run_launch(launch, technique, config, use_cache=use_cache)
+    result = run_launch(launch, technique, config, use_cache=use_cache,
+                        tracer=tracer)
     result.extra["abbr"] = abbr
-    if use_cache:
+    if tracer is not None:
+        result.extra["tracer"] = tracer
+    elif use_cache:
         _cache[key] = result
     return result
 

@@ -15,6 +15,7 @@ from typing import Callable
 from ..config import CacheConfig
 from ..events import EventQueue
 from ..stats import Stats
+from ..trace.tracer import NULL_TRACER
 
 
 class _Line:
@@ -38,12 +39,15 @@ class SetAssocCache:
     callback)`` and ``write(line_addr, now)``."""
 
     def __init__(self, name: str, config: CacheConfig, next_level,
-                 events: EventQueue, stats: Stats):
+                 events: EventQueue, stats: Stats, tracer=NULL_TRACER,
+                 trace_label: str | None = None):
         self.name = name
         self.config = config
         self.next_level = next_level
         self.events = events
         self.stats = stats
+        self.tracer = tracer
+        self.trace_label = trace_label if trace_label is not None else name
         self.num_sets = max(1, config.size_bytes
                             // (config.line_size * config.ways))
         self._sets = [[_Line() for _ in range(config.ways)]
@@ -95,8 +99,13 @@ class SetAssocCache:
             if lock:
                 line.lock_count += 1
             self.events.schedule(start + self.config.hit_latency, callback)
+            if self.tracer.enabled:
+                self.tracer.mem_access(start, self.trace_label, line_addr,
+                                       True)
             return
         self.stats.add(f"{self.name}.misses")
+        if self.tracer.enabled:
+            self.tracer.mem_access(start, self.trace_label, line_addr, False)
         self._miss(line_addr, start, callback, lock)
 
     def _miss(self, line_addr: int, now: int,
@@ -139,6 +148,8 @@ class SetAssocCache:
             else:
                 self._pending_locked_fills.pop(set_idx, None)
         self._insert(line_addr, entry.lock_count)
+        if self.tracer.enabled:
+            self.tracer.mem_fill(now, self.trace_label, line_addr)
         for callback in entry.callbacks:
             callback(now)
         # MSHR freed: admit waiting requests.  Keep draining while MSHRs

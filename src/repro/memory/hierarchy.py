@@ -7,6 +7,7 @@ from typing import Callable
 from ..config import GPUConfig
 from ..events import EventQueue
 from ..stats import Stats
+from ..trace.tracer import NULL_TRACER
 from .cache import SetAssocCache
 from .dram import DRAM, PerfectMemory
 
@@ -40,7 +41,8 @@ class MemoryHierarchy:
     handful of cycles — the classification configuration of §5.1.2.
     """
 
-    def __init__(self, config: GPUConfig, events: EventQueue, stats: Stats):
+    def __init__(self, config: GPUConfig, events: EventQueue, stats: Stats,
+                 tracer=NULL_TRACER):
         self.config = config
         self.events = events
         self.stats = stats
@@ -53,11 +55,13 @@ class MemoryHierarchy:
             return
         self._perfect = False
         self.dram = DRAM(config.dram, events, stats)
-        self.l2 = SetAssocCache("l2", config.l2, self.dram, events, stats)
+        self.l2 = SetAssocCache("l2", config.l2, self.dram, events, stats,
+                                tracer=tracer)
         icnt = LatencyChannel(self.l2, config.interconnect_latency, events)
         self.l1s = [
-            SetAssocCache(f"l1", config.l1, icnt, events, stats)
-            for _ in range(config.num_sms)
+            SetAssocCache("l1", config.l1, icnt, events, stats,
+                          tracer=tracer, trace_label=f"l1.{i}")
+            for i in range(config.num_sms)
         ]
 
     @property

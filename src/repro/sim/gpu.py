@@ -9,6 +9,7 @@ from ..config import GPUConfig
 from ..events import EventQueue
 from ..memory.hierarchy import MemoryHierarchy
 from ..stats import Stats
+from ..trace.tracer import NULL_TRACER
 from .launch import KernelLaunch
 from .sm import SM
 
@@ -43,12 +44,15 @@ class RunResult:
 class GPU:
     """A simulated GPU instance.  Create one per kernel launch."""
 
-    def __init__(self, config: GPUConfig, dac_program=None):
+    def __init__(self, config: GPUConfig, dac_program=None, tracer=None):
         self.config = config
         self.dac_program = dac_program
         self.stats = Stats()
         self.events = EventQueue()
-        self.hierarchy = MemoryHierarchy(config, self.events, self.stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.now = 0
+        self.hierarchy = MemoryHierarchy(config, self.events, self.stats,
+                                         tracer=self.tracer)
         self.sms = [self._make_sm(i) for i in range(config.num_sms)]
         self._cfg_cache: dict[int, CFG] = {}
         self._pending_blocks: list[tuple[int, int, int]] = []
@@ -109,7 +113,10 @@ class GPU:
 
         now = 0
         idle_streak = 0
+        tracer = self.tracer
+        trace = tracer.enabled
         while True:
+            self.now = now
             self.events.run_until(now)
             issued = False
             for sm in self.sms:
@@ -122,6 +129,8 @@ class GPU:
                 raise DeadlockError(
                     f"exceeded max_cycles={self.config.max_cycles}")
             if issued:
+                if trace:
+                    tracer.commit(now, 1, self.sms)
                 now += 1
                 idle_streak = 0
                 continue
@@ -141,10 +150,18 @@ class GPU:
                 idle_streak += 1
                 if idle_streak > 4:
                     raise DeadlockError(self._deadlock_report(now))
+                if trace:
+                    tracer.commit(now, 1, self.sms)
                 now += 1
                 continue
             idle_streak = 0
-            now = min(candidates)
+            # The skipped cycles are provably quiescent (no event fires, no
+            # scheduler frees up), so the tracer attributes them in bulk to
+            # the state recorded at ``now``.
+            nxt = min(candidates)
+            if trace:
+                tracer.commit(now, nxt - now, self.sms)
+            now = nxt
 
         # Drain in-flight writes/events so the memory stats are complete
         # (does not extend the reported cycle count).
@@ -152,6 +169,8 @@ class GPU:
             self.events.run_until(self.events.next_time())
 
         self.stats.add("cycles", now)
+        if trace:
+            tracer.finalize(self.stats, now, self.config)
         return RunResult(cycles=now, stats=self.stats, config=self.config,
                          kernel_name=launch.kernel.name)
 
@@ -170,6 +189,7 @@ class GPU:
         return "\n".join(lines)
 
 
-def simulate(launch: KernelLaunch, config: GPUConfig) -> RunResult:
+def simulate(launch: KernelLaunch, config: GPUConfig,
+             tracer=None) -> RunResult:
     """Convenience one-call entry point."""
-    return GPU(config).run(launch)
+    return GPU(config, tracer=tracer).run(launch)

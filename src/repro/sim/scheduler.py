@@ -27,6 +27,10 @@ class Scheduler:
         self.busy_until = 0
         self.warps: list = []              # warps owned by this scheduler
         self._rotation = 0
+        # Per-cycle issue-slot attribution, maintained only when the GPU's
+        # tracer is enabled; the main loop commits it after each cycle.
+        self.stall_reason = "idle"
+        self.stall_slot = -1
 
     def add_warp(self, warp) -> None:
         self.warps.append(warp)
@@ -50,7 +54,12 @@ class Scheduler:
 
     def tick(self, now: int) -> bool:
         """Attempt one issue; returns True if an instruction issued."""
+        trace = self.sm.trace_on
         if now < self.busy_until or not self.warps:
+            if trace:
+                self.stall_reason = ("busy" if now < self.busy_until
+                                     else "idle")
+                self.stall_slot = -1
             return False
         for warp in self._ordered():
             # Position must be taken before issue: an exit instruction can
@@ -65,5 +74,11 @@ class Scheduler:
                 else:
                     self._rotation = (self._rotation + 1) \
                         % max(1, len(self.warps))
+                if trace:
+                    self.stall_reason = "issued"
+                    self.stall_slot = getattr(warp, "slot", -1)
                 return True
+        if trace:
+            self.stall_reason, self.stall_slot = \
+                self.sm.diagnose_stall(self, now)
         return False

@@ -26,6 +26,8 @@ class SM:
         self.config = gpu.config
         self.stats = gpu.stats
         self.events = gpu.events
+        self.tracer = gpu.tracer
+        self.trace_on = gpu.tracer.enabled
         self.l1 = gpu.hierarchy.l1_of(index)
         self.ctas: list[CTAState] = []
         self.warps: list[WarpContext] = []
@@ -54,6 +56,8 @@ class SM:
             self.warps.append(warp)
             self.schedulers[slot % len(self.schedulers)].add_warp(warp)
         self.on_cta_assigned(cta)
+        if self.trace_on:
+            self.tracer.cta_assign(self.gpu.now, self.index, cta.block_idx)
         return cta
 
     def on_cta_assigned(self, cta: CTAState) -> None:
@@ -68,6 +72,8 @@ class SM:
         self._free_slots.sort()
         self.ctas.remove(cta)
         self.on_cta_retired(cta)
+        if self.trace_on:
+            self.tracer.cta_retire(self.gpu.now, self.index, cta.block_idx)
         self.gpu.on_cta_complete(self)
 
     def on_cta_retired(self, cta: CTAState) -> None:
@@ -108,6 +114,35 @@ class SM:
         """Hook: DAC dequeue-readiness checks (paper Fig. 9 ⑨)."""
         return True
 
+    # ---- stall diagnosis (tracing only; must not mutate) -----------------
+
+    def diagnose_stall(self, scheduler, now: int) -> tuple[str, int]:
+        """Why the scheduler's slot went unused this cycle: the reason of
+        its head-of-line warp (the warp it would have issued first), and
+        that warp's slot.  Read-only mirror of the :meth:`try_issue`
+        gating, called only when tracing is enabled and nothing issued."""
+        for warp in scheduler._ordered():
+            reason = self.diagnose_warp(warp, now)
+            if reason is not None:
+                return reason, getattr(warp, "slot", -1)
+        return "idle", -1
+
+    def diagnose_warp(self, warp, now: int) -> str | None:
+        """Stall reason for one warp; None when it has nothing to issue."""
+        if warp.done:
+            return None
+        if warp.at_barrier:
+            return "barrier"
+        inst = warp.launch.kernel.instructions[warp.pc]
+        if not warp.regs_ready(inst):
+            return "memory" if warp.mem_pending else "scoreboard"
+        if inst.is_memory and inst.space is not MemSpace.SHARED \
+                and now < self.lsu_free:
+            return "memory"
+        if not self.extra_ready(warp, inst, now):
+            return "queue_empty"
+        return "other"
+
     def issue(self, warp: WarpContext, inst: Instruction, now: int) -> int:
         ex = warp.executor
         mask = ex.guard_mask(inst, warp.stack.active_mask)
@@ -127,7 +162,11 @@ class SM:
         else:
             self._do_alu(warp, inst, mask, now)
             warp.stack.pc = warp.pc + 1
-        return self.issue_interval_for(warp, inst, now)
+        interval = self.issue_interval_for(warp, inst, now)
+        if self.trace_on:
+            self.tracer.warp_issue(now, self.index, warp.slot, inst,
+                                   active, interval)
+        return interval
 
     def issue_interval_for(self, warp: WarpContext, inst: Instruction,
                            now: int) -> int:
@@ -169,6 +208,9 @@ class SM:
                     w.at_barrier = False
                     w.stack.pc = w.pc + 1
             self.on_barrier_release(cta)
+            if self.trace_on:
+                self.tracer.barrier_release(self.gpu.now, self.index,
+                                            cta.block_idx)
 
     def on_barrier_release(self, cta: CTAState) -> None:
         """Hook: the AEU resumes expansion for this CTA (paper §4.2)."""
@@ -226,12 +268,17 @@ class SM:
             warp.acquire(dst.name)
             warp.mem_pending += 1
             state = {"remaining": len(lines)}
+            if self.trace_on:
+                self.tracer.load_issue(now, self.index, warp.slot,
+                                       len(lines))
 
             def on_line(t, state=state, w=warp, name=dst.name):
                 state["remaining"] -= 1
                 if state["remaining"] == 0:
                     w.release(name)
                     w.mem_pending -= 1
+                    if self.trace_on:
+                        self.tracer.load_fill(t, self.index, w.slot)
 
             for line in lines:
                 self.issue_line_read(warp, inst, line, now, on_line)

@@ -1,0 +1,235 @@
+"""Structured cycle-level event tracer.
+
+The tracer is a passive observer: simulation components emit events into it
+(guarded by ``tracer.enabled`` so the untraced fast path stays untouched),
+and the GPU main loop *commits* one attribution record per scheduler per
+simulated cycle.  Because the main loop fast-forwards over cycles in which
+nothing can change, a commit carries a ``delta`` — the number of cycles the
+recorded per-scheduler state was in force — which keeps tracing exact
+without forcing cycle-by-cycle simulation.
+
+Two invariants make the data trustworthy:
+
+* every (SM, scheduler, cycle) slot is attributed to exactly one bucket
+  (``issued``, ``busy``, or a stall reason), so the buckets sum to
+  ``cycles x num_sms x num_schedulers``;
+* the tracer never mutates simulator state, so a traced run is cycle-exact
+  with an untraced one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Every attribution bucket a scheduler slot can land in.  ``issued`` is the
+#: cycle an instruction left the scheduler; ``busy`` is the tail of a
+#: multi-cycle issue window; the rest are stall reasons; ``other`` is a
+#: defensive catch-all for a diagnosis that disagrees with the issue logic.
+STALL_REASONS = (
+    "issued", "busy", "scoreboard", "memory", "barrier",
+    "queue_empty", "queue_full", "idle", "other",
+)
+
+#: Synthetic warp-slot id used for the DAC affine warp in issue events.
+AFFINE_SLOT = -1
+
+
+class NullTracer:
+    """Do-nothing tracer installed by default.
+
+    ``enabled`` is False so hot paths skip event construction entirely; the
+    methods still exist so cold paths may call them unguarded.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def warp_issue(self, now, sm, slot, inst, active, interval):
+        pass
+
+    def load_issue(self, now, sm, slot, lines):
+        pass
+
+    def load_fill(self, now, sm, slot):
+        pass
+
+    def enqueue(self, now, sm, kind, queue_id):
+        pass
+
+    def dequeue(self, now, sm, slot, kind, queue_id):
+        pass
+
+    def expand(self, now, sm, slot, kind, queue_id, lines):
+        pass
+
+    def record_fill(self, now, sm, queue_id):
+        pass
+
+    def mem_access(self, now, level, line, hit):
+        pass
+
+    def mem_fill(self, now, level, line):
+        pass
+
+    def barrier_release(self, now, sm, block_idx):
+        pass
+
+    def cta_assign(self, now, sm, block_idx):
+        pass
+
+    def cta_retire(self, now, sm, block_idx):
+        pass
+
+    def commit(self, now, delta, sms):
+        pass
+
+    def finalize(self, stats, cycles, config):
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Recording tracer.
+
+    Events are stored as flat tuples ``(kind, ts, sm, tid, name, args)`` —
+    cheap to append, interpreted by the exporters.  ``samples`` holds the
+    queue-occupancy time series; ``stall_cycles``/``warp_stalls`` hold the
+    committed attribution buckets.
+    """
+
+    enabled = True
+    __slots__ = ("events", "samples", "stall_cycles", "warp_stalls",
+                 "sample_interval", "trace_memory", "_next_sample",
+                 "_segments", "cycles", "issue_slots")
+
+    def __init__(self, sample_interval: int = 64,
+                 trace_memory: bool = True):
+        self.events: list[tuple] = []
+        self.samples: list[tuple] = []       # (cycle, sm, atq, pwaq, pwpq,
+        #                                       runahead)
+        self.stall_cycles: Counter = Counter()
+        self.warp_stalls: Counter = Counter()    # (sm, slot, reason) -> cyc
+        self.sample_interval = max(1, int(sample_interval))
+        self.trace_memory = trace_memory
+        self._next_sample = 0
+        # (sm, sched) -> [reason, start]; run-length encodes the per-
+        # scheduler attribution timeline for the Chrome export.
+        self._segments: dict[tuple[int, int], list] = {}
+        self.cycles = 0
+        self.issue_slots = 0                 # schedulers per cycle, chipwide
+
+    # ---- event hooks (called from the simulator) ----------------------
+
+    def warp_issue(self, now, sm, slot, inst, active, interval):
+        self.events.append(("issue", now, sm, slot, inst.opcode.value,
+                            {"active": int(active), "dur": int(interval)}))
+
+    def load_issue(self, now, sm, slot, lines):
+        self.events.append(("load", now, sm, slot, "ld.issue",
+                            {"lines": int(lines)}))
+
+    def load_fill(self, now, sm, slot):
+        self.events.append(("load", now, sm, slot, "ld.fill", None))
+
+    def enqueue(self, now, sm, kind, queue_id):
+        self.events.append(("enq", now, sm, AFFINE_SLOT, f"enq.{kind}",
+                            {"queue": queue_id}))
+
+    def dequeue(self, now, sm, slot, kind, queue_id):
+        self.events.append(("deq", now, sm, slot, f"deq.{kind}",
+                            {"queue": queue_id}))
+
+    def expand(self, now, sm, slot, kind, queue_id, lines):
+        self.events.append(("expand", now, sm, slot, f"expand.{kind}",
+                            {"queue": queue_id, "lines": int(lines)}))
+
+    def record_fill(self, now, sm, queue_id):
+        self.events.append(("fill", now, sm, AFFINE_SLOT, "record.fill",
+                            {"queue": queue_id}))
+
+    def mem_access(self, now, level, line, hit):
+        if self.trace_memory:
+            self.events.append(("mem", now, level, 0,
+                                "hit" if hit else "miss", {"line": line}))
+
+    def mem_fill(self, now, level, line):
+        if self.trace_memory:
+            self.events.append(("mem", now, level, 0, "fill",
+                                {"line": line}))
+
+    def barrier_release(self, now, sm, block_idx):
+        self.events.append(("barrier", now, sm, 0, "barrier.release",
+                            {"block": tuple(block_idx)}))
+
+    def cta_assign(self, now, sm, block_idx):
+        self.events.append(("cta", now, sm, 0, "cta.assign",
+                            {"block": tuple(block_idx)}))
+
+    def cta_retire(self, now, sm, block_idx):
+        self.events.append(("cta", now, sm, 0, "cta.retire",
+                            {"block": tuple(block_idx)}))
+
+    # ---- per-cycle commit (called only from the GPU main loop) ----------
+
+    def commit(self, now, delta, sms):
+        """Attribute the just-simulated cycle (and the ``delta - 1``
+        fast-forwarded cycles whose state is provably identical) to each
+        scheduler's recorded reason, and sample queue occupancy."""
+        stall_cycles = self.stall_cycles
+        warp_stalls = self.warp_stalls
+        segments = self._segments
+        for sm in sms:
+            for sched in sm.schedulers:
+                reason = sched.stall_reason
+                stall_cycles[reason] += delta
+                warp_stalls[(sm.index, sched.stall_slot, reason)] += delta
+                key = (sm.index, sched.index)
+                seg = segments.get(key)
+                if seg is None:
+                    segments[key] = [reason, now]
+                elif seg[0] != reason:
+                    self.events.append(("slot", seg[1], sm.index,
+                                        sched.index, seg[0],
+                                        {"dur": now - seg[1]}))
+                    seg[0] = reason
+                    seg[1] = now
+        if now >= self._next_sample:
+            self._sample(now, sms)
+            self._next_sample = now + self.sample_interval
+
+    def _sample(self, now, sms):
+        """Queue-occupancy / runahead snapshot.  Duck-typed so the same
+        sampler covers every SM flavour: non-DAC SMs report zeros."""
+        for sm in sms:
+            atq_mem = getattr(sm, "atq_mem", None)
+            if atq_mem is not None:
+                atq = len(atq_mem) + len(sm.atq_pred)
+            else:
+                atq = 0
+            pwaq = pwpq = 0
+            for warp in sm.warps:
+                q = getattr(warp, "pwaq", None)
+                if q is not None:
+                    pwaq += len(q)
+                    pwpq += len(warp.pwpq)
+            # Runahead distance: decoupled work produced by the affine side
+            # but not yet consumed by a dequeue, in records.
+            self.samples.append((now, sm.index, atq, pwaq, pwpq,
+                                 atq + pwaq + pwpq))
+
+    # ---- end of run -----------------------------------------------------
+
+    def finalize(self, stats, cycles, config):
+        """Flush open timeline segments and surface the attribution buckets
+        as ``issue.*`` counters (only traced runs carry them)."""
+        for (sm, sched), (reason, start) in sorted(self._segments.items()):
+            if cycles > start:
+                self.events.append(("slot", start, sm, sched, reason,
+                                    {"dur": cycles - start}))
+        self._segments.clear()
+        self.cycles = cycles
+        self.issue_slots = config.num_sms * config.num_schedulers
+        for reason, cyc in self.stall_cycles.items():
+            stats.add(f"issue.{reason}", cyc)

@@ -1,0 +1,122 @@
+"""Seeded random mini-kernel generator for differential testing.
+
+:func:`build_fuzz_launch` produces a small random kernel — affine loads,
+indirect loads, data-dependent branches, loops, barriers, atomics — whose
+final memory image is *deterministic*: every arithmetic op in the pool is
+exact over the integers representable in float64, every store lands in a
+thread-exclusive slot, and the only shared writes are order-independent
+integer atomic adds.  That makes the functional interpreter's memory image
+a bit-exact oracle for every timing model (baseline, CAE, MTA, DAC).
+
+The same seed always yields the same kernel over a fresh
+:class:`GlobalMemory`, so each simulation gets an identical, independent
+memory image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import CmpOp, KernelBuilder, Opcode
+from ..sim.launch import GlobalMemory, KernelLaunch
+
+#: Bound applied (via ``rem``) after every multiply so values stay far from
+#: 2**53, where float64 stops being exact over the integers.
+_CLAMP = 8191
+
+#: Histogram slots targeted by the atomic-add segment.
+_HIST = 16
+
+
+def build_fuzz_launch(seed: int) -> KernelLaunch:
+    """One random mini-kernel launch; identical for identical seeds."""
+    rng = np.random.default_rng(seed)
+    num_ctas = int(rng.integers(1, 3))
+    warps_per_cta = int(rng.integers(1, 3))
+    n = num_ctas * warps_per_cta * 32
+
+    mem = GlobalMemory(1 << 16)
+    a_vals = rng.integers(0, 64, size=n + 16)
+    a_base = mem.alloc_array(a_vals.astype(np.float64))
+    b_idx = a_base + 4 * rng.integers(0, n, size=n)
+    b_base = mem.alloc_array(b_idx.astype(np.float64))
+    h_base = mem.alloc_array(np.zeros(_HIST))
+    o_base = mem.alloc_array(np.zeros(n))
+
+    b = KernelBuilder(f"fuzz{seed}", params=("A", "B", "O", "H", "n"))
+    tid = b.global_tid_x()
+    off = b.mul(tid, 4)
+    acc = b.mov(0, name="acc")                 # mutable accumulator
+    vals = [tid, b.load(b.add(b.param("A"), off))]
+
+    def rand_val():
+        return vals[int(rng.integers(0, len(vals)))]
+
+    def rand_alu():
+        kind = int(rng.integers(0, 7))
+        x = rand_val()
+        y = (rand_val() if rng.random() < 0.5
+             else int(rng.integers(1, 32)))
+        if kind == 0:
+            v = b.add(x, y)
+        elif kind == 1:
+            v = b.sub(x, y)
+        elif kind == 2:
+            v = b.rem(b.mul(x, y), _CLAMP)
+        elif kind == 3:
+            v = b.min(x, y)
+        elif kind == 4:
+            v = b.max(x, y)
+        elif kind == 5:
+            v = b.rem(x, int(rng.integers(2, 64)))
+        else:
+            v = b.unary(Opcode.ABS, x)
+        vals.append(v)
+
+    def rand_pred():
+        cmps = (CmpOp.LT, CmpOp.GE, CmpOp.EQ, CmpOp.NE)
+        cmp = cmps[int(rng.integers(0, len(cmps)))]
+        return b.setp(cmp, rand_val(), int(rng.integers(0, 48)))
+
+    for _ in range(int(rng.integers(4, 10))):
+        seg = int(rng.integers(0, 8))
+        if seg <= 2:                                   # plain ALU chatter
+            rand_alu()
+        elif seg == 3:                                 # affine load
+            disp = 4 * int(rng.integers(0, 16))
+            vals.append(b.load(b.add(b.param("A"), off), disp))
+        elif seg == 4:                                 # indirect load
+            ptr = b.load(b.add(b.param("B"), off))
+            vals.append(b.load(ptr))
+        elif seg == 5:                                 # divergent branch
+            with b.if_then(rand_pred()):
+                for _ in range(int(rng.integers(1, 3))):
+                    b.assign(acc, b.rem(b.add(acc, rand_val()), _CLAMP))
+        elif seg == 6:                                 # small loop
+            b.loop_counter(int(rng.integers(2, 5)))
+            b.assign(acc, b.rem(b.add(acc, rand_val()), _CLAMP))
+            b.end_loop()
+        else:                                          # barrier (top level)
+            b.barrier()
+
+    # Order-independent shared write: integer +1 into a histogram slot.
+    slot = b.rem(rand_val(), _HIST)
+    b.atomic_add(b.add(b.param("H"), b.mul(slot, 4)), 1)
+
+    # Round-trip through the thread's private output slot, then fold the
+    # value pool into it.
+    o_addr = b.add(b.param("O"), off)
+    b.store(o_addr, acc)
+    total = b.load(o_addr)
+    for v in vals[-4:]:
+        total = b.rem(b.add(total, v), 1 << 20)
+    b.store(o_addr, total)
+
+    return KernelLaunch(
+        kernel=b.build(),
+        grid_dim=(num_ctas, 1, 1),
+        block_dim=(32 * warps_per_cta, 1, 1),
+        params={"A": a_base, "B": b_base, "O": o_base, "H": h_base,
+                "n": n},
+        memory=mem,
+    )

@@ -12,6 +12,7 @@ from repro.isa import parse_kernel
 from repro.sim import GPUConfig, GlobalMemory, KernelLaunch
 from repro.sim.launch import CTAState
 from repro.stats import Stats
+from repro.trace import NULL_TRACER
 
 
 class _FakeSM:
@@ -23,6 +24,8 @@ class _FakeSM:
         self.atq_mem = ATQ(64)
         self.atq_pred = ATQ(64)
         self.config = GPUConfig(num_sms=1)
+        self.trace_on = False
+        self.tracer = NULL_TRACER
 
 
 def make_exec(source, params=(), block=(64, 1, 1), param_values=None):

@@ -1,0 +1,55 @@
+"""Determinism regressions: repeated simulations of the same launch are
+bit-identical — cycle counts and every Stats counter — with and without
+tracing, and tracing itself never perturbs the simulation."""
+
+import pytest
+
+from repro.harness.runner import TECHNIQUES, experiment_config, run_one
+from repro.trace import Tracer
+
+CONFIG = experiment_config(num_sms=2)
+
+
+def fresh_run(technique, trace=None):
+    return run_one("CP", technique, "tiny", CONFIG, use_cache=False,
+                   trace=trace)
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_repeat_runs_identical(technique):
+    a = fresh_run(technique)
+    b = fresh_run(technique)
+    assert a.cycles == b.cycles
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_tracing_is_passive(technique):
+    """A traced run is cycle-exact with an untraced one, and its Stats
+    are a strict superset (the ``issue.*`` attribution buckets)."""
+    plain = fresh_run(technique)
+    traced = fresh_run(technique, trace=Tracer())
+    assert traced.cycles == plain.cycles
+    plain_stats = plain.stats.as_dict()
+    traced_stats = traced.stats.as_dict()
+    extras = set(traced_stats) - set(plain_stats)
+    assert extras and all(key.startswith("issue.") for key in extras)
+    assert {k: v for k, v in traced_stats.items()
+            if not k.startswith("issue.")} == plain_stats
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_repeat_traced_runs_identical(technique):
+    ta, tb = Tracer(), Tracer()
+    a = fresh_run(technique, trace=ta)
+    b = fresh_run(technique, trace=tb)
+    assert a.cycles == b.cycles
+    assert a.stats.as_dict() == b.stats.as_dict()
+    assert ta.events == tb.events
+    assert ta.samples == tb.samples
+    assert ta.stall_cycles == tb.stall_cycles
+
+
+def test_untraced_runs_carry_no_attribution():
+    stats = fresh_run("dac").stats.as_dict()
+    assert not any(key.startswith("issue.") for key in stats)

@@ -1,0 +1,128 @@
+"""Property tests for the DAC hardware queues (ATQ, PerWarpQueue).
+
+Randomized interleavings of register/push/pop/drop operations check the
+invariants the simulator relies on: per-CTA FIFO order, the shared-budget
+accounting behind ``has_space()``, and clean teardown via ``drop_cta()``."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import ATQ, BarrierMarker, PerWarpQueue, TupleEntry
+
+
+def entry(tag: int) -> TupleEntry:
+    return TupleEntry(kind="data", queue_id=tag, expr=None,
+                      mask=np.ones(32, dtype=bool))
+
+
+#: One ATQ operation: (op, cta, tag). ``tag`` doubles as a sequence number.
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["push", "pop", "drop", "register",
+                               "barrier"]),
+              st.integers(0, 3)),
+    max_size=200)
+
+
+class TestATQ:
+    @given(capacity=st.integers(1, 8), ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_interleavings(self, capacity, ops):
+        """Under any interleaving: ``has_space`` is honoured, per-CTA FIFO
+        order holds, the shared count matches the live entries, and
+        ``drop_cta`` leaves no residuals."""
+        atq = ATQ(capacity)
+        model: dict[int, list] = {}          # cta -> queued tags, in order
+        next_tag = 0
+        for op, cta in ops:
+            if op == "register":
+                atq.register_cta(cta)
+                model.setdefault(cta, [])
+            elif op == "push" and cta in model:
+                if atq.has_space():
+                    atq.push(cta, entry(next_tag))
+                    model[cta].append(next_tag)
+                    next_tag += 1
+                else:
+                    with pytest.raises(RuntimeError):
+                        atq.push(cta, entry(-1))
+            elif op == "barrier" and cta in model:
+                # Markers ride the FIFO but consume no budget.
+                before = atq.has_space()
+                atq.push(cta, BarrierMarker(0))
+                model[cta].append("bar")
+                assert atq.has_space() == before
+            elif op == "pop" and cta in model and model[cta]:
+                expect = model[cta].pop(0)
+                got = atq.pop(cta)
+                if expect == "bar":
+                    assert isinstance(got, BarrierMarker)
+                else:
+                    assert isinstance(got, TupleEntry)
+                    assert got.queue_id == expect
+            elif op == "drop" and cta in model:
+                leftovers = atq.drop_cta(cta)
+                tags = [e.queue_id for e in leftovers
+                        if isinstance(e, TupleEntry)]
+                assert tags == [t for t in model.pop(cta) if t != "bar"]
+                assert cta not in atq.cta_keys()
+            # Invariants that hold after every operation:
+            live = sum(1 for q in model.values()
+                       for t in q if t != "bar")
+            assert len(atq) == live
+            assert atq.has_space() == (live < capacity)
+            for key in model:
+                head = atq.head(key)
+                if model[key]:
+                    if model[key][0] == "bar":
+                        assert isinstance(head, BarrierMarker)
+                    else:
+                        assert head.queue_id == model[key][0]
+                else:
+                    assert head is None
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_drop_then_reregister(self, ops):
+        """A dropped CTA key can be re-registered and starts empty."""
+        atq = ATQ(16)
+        atq.register_cta(1)
+        for op, _ in ops:
+            if op == "push" and atq.has_space():
+                atq.push(1, entry(0))
+        atq.drop_cta(1)
+        assert len(atq) == 0
+        atq.register_cta(1)
+        assert atq.head(1) is None
+        atq.push(1, entry(99))
+        assert atq.pop(1).queue_id == 99
+
+
+class TestPerWarpQueue:
+    @given(capacity=st.integers(1, 8),
+           ops=st.lists(st.sampled_from(["push", "pop", "drain"]),
+                        max_size=100))
+    @settings(max_examples=200, deadline=None)
+    def test_interleavings(self, capacity, ops):
+        q = PerWarpQueue(capacity)
+        model = []
+        next_tag = 0
+        for op in ops:
+            if op == "push":
+                if q.full():
+                    assert len(model) == capacity
+                    with pytest.raises(RuntimeError):
+                        q.push(next_tag)
+                else:
+                    q.push(next_tag)
+                    model.append(next_tag)
+                    next_tag += 1
+            elif op == "pop" and model:
+                assert q.pop() == model.pop(0)
+            elif op == "drain":
+                assert q.drain() == model
+                model = []
+            assert len(q) == len(model)
+            assert q.full() == (len(model) >= capacity)
+            assert q.head() == (model[0] if model else None)

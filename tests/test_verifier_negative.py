@@ -1,0 +1,146 @@
+"""Negative tests for the decoupling verifier: each check class must fire
+on a targeted mutation of a known-good DecoupledProgram.
+
+The positive path (valid programs verify clean) is covered by
+``test_verifier.py``; here we prove the verifier actually *rejects* — a
+verifier that silently returns ok on broken streams would let decoupler
+regressions surface as queue mismatches deep inside simulations."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import decouple, verify
+from repro.isa import Instruction, KernelBuilder, Opcode, PredReg
+
+
+def make_program():
+    """A small decoupled program: two affine loads, one affine store."""
+    b = KernelBuilder("vt", params=("A", "O"))
+    tid = b.global_tid_x()
+    off = b.mul(tid, 4)
+    v1 = b.load(b.add(b.param("A"), off))
+    v2 = b.load(b.add(b.param("A"), off), 4)
+    b.store(b.add(b.param("O"), off), b.add(v1, v2))
+    program = decouple(b.build())
+    assert program.is_decoupled
+    assert verify(program).ok
+    return program
+
+
+def with_stream(program, stream: str, instructions):
+    kernel = getattr(program, stream)
+    mutated = dataclasses.replace(kernel, instructions=list(instructions))
+    return dataclasses.replace(program, **{stream: mutated})
+
+
+def enq_indices(program):
+    return [i for i, inst in enumerate(program.affine.instructions)
+            if inst.is_enq]
+
+
+def assert_fires(program, fragment: str):
+    report = verify(program)
+    assert not report.ok
+    assert any(fragment in error for error in report.errors), \
+        f"expected an error containing {fragment!r}, got {report.errors}"
+
+
+class TestPairing:
+    def test_missing_enqueue(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        del insts[enq_indices(program)[0]]
+        assert_fires(with_stream(program, "affine", insts),
+                     "queue id mismatch")
+
+    def test_duplicate_enqueue(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        first = enq_indices(program)[0]
+        insts.insert(first, insts[first])
+        assert_fires(with_stream(program, "affine", insts),
+                     "duplicate enqueue")
+
+    def test_duplicate_dequeue(self):
+        program = make_program()
+        insts = list(program.nonaffine.instructions)
+        deq = next(i for i in insts
+                   if any(True for _ in _tokens(i)))
+        insts.insert(0, deq)
+        assert_fires(with_stream(program, "nonaffine", insts),
+                     "duplicate dequeue")
+
+    def test_kind_mismatch(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        first = enq_indices(program)[0]
+        insts[first] = dataclasses.replace(insts[first],
+                                           opcode=Opcode.ENQ_ADDR)
+        assert_fires(with_stream(program, "affine", insts), "enq kind")
+
+
+class TestOrdering:
+    def test_swapped_enqueues(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        data_enqs = [i for i in enq_indices(program)
+                     if insts[i].opcode is Opcode.ENQ_DATA]
+        assert len(data_enqs) >= 2
+        a, b = data_enqs[0], data_enqs[1]
+        insts[a], insts[b] = insts[b], insts[a]
+        assert_fires(with_stream(program, "affine", insts),
+                     "out of original order")
+
+
+class TestGuards:
+    def test_guard_mismatch(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        first = enq_indices(program)[0]
+        insts[first] = dataclasses.replace(insts[first],
+                                           guard=PredReg("p9"))
+        assert_fires(with_stream(program, "affine", insts),
+                     "guard mismatch")
+
+
+class TestPurity:
+    def test_load_in_affine_stream(self):
+        program = make_program()
+        stray = next(i for i in program.nonaffine.instructions
+                     if i.is_memory)
+        insts = list(program.affine.instructions)
+        insts.insert(len(insts) - 1, stray)
+        assert_fires(with_stream(program, "affine", insts),
+                     "affine stream contains a memory access")
+
+    def test_enqueue_in_nonaffine_stream(self):
+        program = make_program()
+        stray = program.affine.instructions[enq_indices(program)[0]]
+        insts = list(program.nonaffine.instructions)
+        insts.insert(0, stray)
+        assert_fires(with_stream(program, "nonaffine", insts),
+                     "contains an enqueue")
+
+
+class TestBarriers:
+    def test_unreplicated_barrier(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        insts.insert(len(insts) - 1, Instruction(Opcode.BAR))
+        assert_fires(with_stream(program, "affine", insts),
+                     "barrier replication mismatch")
+
+
+def _tokens(inst):
+    from repro.isa import DeqToken
+    for op in inst.srcs + inst.dsts:
+        if isinstance(op, DeqToken):
+            yield op
+    if isinstance(inst.guard, DeqToken):
+        yield inst.guard
+
+
+def test_valid_program_stays_clean():
+    """Sanity: the unmutated program is accepted (guards the fixtures)."""
+    assert verify(make_program()).ok
