@@ -12,7 +12,9 @@ Commands:
 * ``table1`` — the simulated machine configuration;
 * ``area`` — DAC's §4.8 area overhead;
 * ``figures [NAME]`` — regenerate evaluation figures (fig6, fig16, fig17,
-  fig18, fig19, fig20, fig21, or ``all``).
+  fig18, fig19, fig20, fig21, or ``all``);
+* ``faults`` — seeded fault-injection campaign: every injected fault must
+  be detected (checker / hang / oracle) or survived, never silent.
 """
 
 from __future__ import annotations
@@ -67,6 +69,16 @@ def _add_harness_args(parser) -> None:
                              "~/.cache/repro-dac)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-simulation wall-clock bound in seconds "
+                             "(parallel runs only); expired cells are "
+                             "retried, then quarantined")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="re-submissions per cell after a timeout or "
+                             "transient worker failure (default 1)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="persist finished grid cells under DIR and "
+                             "resume from them on the next run")
 
 
 def _configure_harness(args) -> bool:
@@ -113,8 +125,9 @@ def _cmd_compare(args) -> int:
     use_cache = _configure_harness(args)
     config = experiment_config(args.sms)
     results = run_suite([args.benchmark.upper()], args.scale, config,
-                        jobs=args.jobs,
-                        use_cache=use_cache)[args.benchmark.upper()]
+                        jobs=args.jobs, use_cache=use_cache,
+                        timeout=args.timeout, retries=args.retries,
+                        checkpoint=args.checkpoint)[args.benchmark.upper()]
     rows = []
     base_cycles = None
     for technique in ("baseline", "cae", "mta", "dac"):
@@ -193,7 +206,8 @@ _FIGURE_NEEDS = {
 }
 
 
-def _prewarm_figures(names, scale, config, jobs) -> None:
+def _prewarm_figures(names, scale, config, jobs, timeout=None, retries=1,
+                     checkpoint=None) -> None:
     orders = {"all": COMPUTE_ORDER + MEMORY_ORDER,
               "compute": COMPUTE_ORDER, "memory": MEMORY_ORDER, "": []}
     tasks = []
@@ -206,9 +220,13 @@ def _prewarm_figures(names, scale, config, jobs) -> None:
                     seen.add((abbr, technique))
                     tasks.append((abbr, technique, config))
     if tasks:
-        run_grid(tasks, scale, jobs=jobs,
+        from .harness.parallel import GridReport
+        report = GridReport()
+        run_grid(tasks, scale, jobs=jobs, timeout=timeout, retries=retries,
+                 checkpoint=checkpoint, report=report,
                  progress=lambda done, total, abbr, tech, _res: print(
                      f"  [{done}/{total}] {abbr}/{tech}", file=sys.stderr))
+        print(f"  prewarm: {report.summary()}", file=sys.stderr)
 
 
 def _cmd_figures(args) -> int:
@@ -249,11 +267,49 @@ def _cmd_figures(args) -> int:
                   f"{', '.join(figures)} or 'all'", file=sys.stderr)
             return 2
     if args.jobs > 1:
-        _prewarm_figures(names, args.scale, config, args.jobs)
+        _prewarm_figures(names, args.scale, config, args.jobs,
+                         timeout=args.timeout, retries=args.retries,
+                         checkpoint=args.checkpoint)
     for key in names:
         print(figures[key]())
         print()
     return 0
+
+
+def _parse_seeds(spec: str):
+    """``"0:20"`` → range(0, 20); ``"3,7,11"`` → [3, 7, 11]; ``"5"`` → [5]."""
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return range(int(lo or 0), int(hi))
+    return [int(s) for s in spec.split(",") if s]
+
+
+def _cmd_faults(args) -> int:
+    from .faults import FAULT_CLASSES
+    from .faults.campaign import run_campaign
+
+    if args.classes:
+        classes = tuple(c.strip() for c in args.classes.split(",") if c)
+        unknown = [c for c in classes if c not in FAULT_CLASSES]
+        if unknown:
+            print(f"unknown fault class(es) {', '.join(unknown)}; choose "
+                  f"from {', '.join(FAULT_CLASSES)}", file=sys.stderr)
+            return 2
+    else:
+        classes = FAULT_CLASSES
+
+    def progress(done, total, cell):
+        if args.verbose:
+            print(f"  [{done}/{total}] seed {cell.seed} {cell.kind}: "
+                  f"{cell.outcome}", file=sys.stderr)
+
+    report = run_campaign(_parse_seeds(args.seeds), classes,
+                          index=args.index, magnitude=args.magnitude,
+                          safe_mode=args.safe_mode,
+                          checkers=not args.no_checkers,
+                          max_cycles=args.max_cycles, progress=progress)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +381,28 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--sms", type=int, default=4)
     _add_harness_args(figs)
     figs.set_defaults(func=_cmd_figures)
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (detect-or-survive)")
+    faults.add_argument("--seeds", default="0:10", metavar="LO:HI|A,B,C",
+                        help="fuzz-kernel seeds (default 0:10)")
+    faults.add_argument("--classes", default=None, metavar="K1,K2",
+                        help="fault classes to inject (default: all)")
+    faults.add_argument("--index", type=int, default=0,
+                        help="which dynamic fault site to hit (default 0)")
+    faults.add_argument("--magnitude", type=int, default=1,
+                        help="fault magnitude (offset words / delay scale)")
+    faults.add_argument("--safe-mode", action="store_true",
+                        help="roll back and replay non-decoupled when a "
+                             "checker fires or the machine wedges")
+    faults.add_argument("--no-checkers", action="store_true",
+                        help="disable the runtime queue/expansion checkers "
+                             "(faults surface via oracle or hang only)")
+    faults.add_argument("--max-cycles", type=int, default=300_000,
+                        help="hang bound per run (default 300000)")
+    faults.add_argument("--verbose", action="store_true",
+                        help="print each cell's outcome as it lands")
+    faults.set_defaults(func=_cmd_faults)
 
     return parser
 

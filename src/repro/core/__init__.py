@@ -9,7 +9,8 @@ from __future__ import annotations
 from ..compiler.decouple import DecoupledProgram, decouple
 from ..compiler.verifier import verify
 from ..config import GPUConfig
-from ..sim.gpu import GPU, RunResult
+from ..faults import CheckerError
+from ..sim.gpu import GPU, RunResult, SimulationHang
 from ..sim.launch import KernelLaunch
 from .affine_warp import AffineCTAExec, AffineWarpHandle, ConcretePredicate, \
     DecoupleRuntimeError
@@ -21,12 +22,21 @@ from .queues import ATQ, AddressRecord, BarrierMarker, PerWarpQueue, \
 
 def run_dac(launch: KernelLaunch, config: GPUConfig,
             program: DecoupledProgram | None = None,
-            tracer=None) -> RunResult:
+            tracer=None, faults=None, checkers=None,
+            safe_mode: bool = False) -> RunResult:
     """Decouple the launch's kernel and simulate it under DAC.
 
     When the kernel has no eligible affine instructions the non-affine
     stream equals the original kernel and DAC behaves as the baseline —
     exactly the paper's low-coverage benchmarks (BFS, BT).
+
+    ``safe_mode=True`` adds graceful degradation: if a runtime checker
+    fires, the affine machinery wedges the queues (:class:`SimulationHang`),
+    or the affine warp trips a :class:`DecoupleRuntimeError`, the partially
+    mutated memory image is rolled back and the launch replays
+    non-decoupled on the baseline SM.  The replay's stats carry a
+    ``dac.fallbacks`` count and the result records the triggering fault in
+    ``extra["fallback_reason"]``.
     """
     if program is None:
         program = decouple(launch.kernel)
@@ -35,7 +45,7 @@ def run_dac(launch: KernelLaunch, config: GPUConfig,
             raise RuntimeError(f"decoupler produced inconsistent streams "
                                f"for {launch.kernel.name!r}:\n{report}")
     gpu = GPU(config.with_technique("dac"), dac_program=program,
-              tracer=tracer)
+              tracer=tracer, faults=faults, checkers=checkers)
     decoupled_launch = KernelLaunch(
         kernel=program.nonaffine,
         grid_dim=launch.grid_dim,
@@ -44,7 +54,21 @@ def run_dac(launch: KernelLaunch, config: GPUConfig,
         memory=launch.memory,
         shared_words=launch.shared_words,
     )
-    result = gpu.run(decoupled_launch)
+    snapshot = launch.memory.words.copy() if safe_mode else None
+    try:
+        result = gpu.run(decoupled_launch)
+    except (CheckerError, SimulationHang, DecoupleRuntimeError) as exc:
+        if not safe_mode:
+            raise
+        # Drain DAC state by abandoning the wedged GPU instance, restore
+        # the pristine memory image, and replay non-decoupled.
+        launch.memory.words[:] = snapshot
+        from ..sim.gpu import simulate
+        result = simulate(launch, config.with_technique("baseline"))
+        result.stats.add("dac.fallbacks")
+        result.extra["fallback_reason"] = f"{type(exc).__name__}: {exc}"
+        result.extra["program"] = program
+        return result
     result.extra["program"] = program
     return result
 

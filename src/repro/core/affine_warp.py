@@ -309,14 +309,19 @@ class AffineCTAExec:
             if pred is None:
                 pred = ConcretePredicate(np.zeros(self.width, dtype=bool))
             entry = TupleEntry("pred", inst.queue_id, pred, mask.copy())
-            self.sm.atq_pred.push(cta_key, entry)
+            atq = self.sm.atq_pred
         else:
             expr = self._expr(inst.srcs[0])
             kind = "data" if inst.opcode is Opcode.ENQ_DATA else "addr"
             entry = TupleEntry(kind, inst.queue_id, expr, mask.copy(),
                                space=inst.space)
             entry.dcrf = self.dcrf
-            self.sm.atq_mem.push(cta_key, entry)
+            atq = self.sm.atq_mem
+        if self.sm.faults.enabled:
+            entry = self.sm.faults.on_enqueue(entry)
+            if entry is None:
+                return                         # injected ATQ drop
+        atq.push(cta_key, entry)
         self.sm.stats.add("dac.atq_pushes")
         if self.sm.trace_on:
             self.sm.tracer.enqueue(now, self.sm.index, entry.kind,

@@ -20,13 +20,18 @@ from .expansion import AddressExpansionUnit, PredicateExpansionUnit
 from .queues import ATQ, PerWarpQueue
 
 
-def _deq_kind(inst: Instruction) -> str | None:
+def _deq_token(inst: Instruction) -> DeqToken | None:
     for op in inst.srcs + inst.dsts:
         if isinstance(op, DeqToken):
-            return op.kind
+            return op
     if isinstance(inst.guard, DeqToken):
-        return inst.guard.kind
+        return inst.guard
     return None
+
+
+def _deq_kind(inst: Instruction) -> str | None:
+    token = _deq_token(inst)
+    return token.kind if token is not None else None
 
 
 class DACSM(SM):
@@ -92,6 +97,8 @@ class DACSM(SM):
     # ---- cycle -----------------------------------------------------------
 
     def cycle(self, now: int) -> bool:
+        if self.checkers.enabled:
+            self.checkers.on_cycle(self, now)
         progressed = False
         if self.affine_execs:
             if self.aeu.tick(now):
@@ -109,11 +116,11 @@ class DACSM(SM):
         if isinstance(warp, WarpContext) and not warp.done \
                 and not warp.at_barrier:
             inst = warp.launch.kernel.instructions[warp.pc]
-            kind = _deq_kind(inst)
-            if kind is not None:
+            token = _deq_token(inst)
+            if token is not None:
                 if not warp.regs_ready(inst):
                     return 0
-                return self._try_issue_deq(warp, inst, kind, now)
+                return self._try_issue_deq(warp, inst, token, now)
         return super().try_issue(warp, now, scheduler)
 
     # ---- stall diagnosis (tracing only; must not mutate) ---------------
@@ -182,7 +189,8 @@ class DACSM(SM):
     # ---- dequeue issue -------------------------------------------------
 
     def _try_issue_deq(self, warp: WarpContext, inst: Instruction,
-                       kind: str, now: int) -> int:
+                       token: DeqToken, now: int) -> int:
+        kind = token.kind
         mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
         if not mask.any():
             # Fully predicated off: nothing was expanded for this warp, so
@@ -199,6 +207,8 @@ class DACSM(SM):
             if record is None:
                 self.stats.add("dac.stall_pred_record")
                 return 0
+            if self.checkers.enabled:
+                self.checkers.check_dequeue(self, warp, token, record)
             warp.pwpq.pop()
             self.stats.add("dac.deq_preds")
             if self.trace_on:
@@ -222,6 +232,8 @@ class DACSM(SM):
         if record is None:
             self.stats.add("dac.stall_no_record")
             return 0
+        if self.checkers.enabled:
+            self.checkers.check_dequeue(self, warp, token, record)
         if record.kind != kind:
             raise RuntimeError(
                 f"PWAQ order mismatch: warp expects {kind}, head is "
@@ -260,6 +272,9 @@ class DACSM(SM):
         self.stats.add("dac.deq_load_lines", len(record.lines))
         for line in record.locked_lines:
             self.l1.unlock(line)
+        # Idempotent against a duplicated record (fault injection): a second
+        # dequeue of the same object must not steal another record's lock.
+        record.locked_lines = []
         missing = [line for line in record.lines
                    if not (self.l1.contains(line)
                            or self.l1.in_flight(line))]

@@ -109,6 +109,18 @@ class AddressExpansionUnit(ExpansionUnit):
         record = AddressRecord(kind=entry.kind, queue_id=entry.queue_id,
                                lines=lines, word_masks=masks, addrs=addrs,
                                mask=mask)
+        faults = self.sm.faults
+        records = (record,)
+        if faults.enabled:
+            records = faults.on_address_record(record)
+            if not records:
+                # Injected drop: the ALU work happened but the record is
+                # lost before delivery (and before any early request).
+                self.busy_until = now + faults.expansion_busy(
+                    max(1, len(lines)))
+                self._advance(entry, exec_, key)
+                return True
+            record = records[0]
         stats = self.sm.stats
         stats.add("dac.records")
         if entry.kind == "data":
@@ -129,8 +141,16 @@ class AddressExpansionUnit(ExpansionUnit):
         else:
             stats.add("dac.affine_store_records")
         warp.pwaq.push(record)
+        for extra in records[1:]:
+            # Injected duplicate delivery (dropped silently when the warp's
+            # queue has no room, as real duplicated state would be).
+            if not warp.pwaq.full():
+                warp.pwaq.push(extra)
         # One ALU: one accumulated line address per cycle (Fig. 11 ②③).
-        self.busy_until = now + max(1, len(lines))
+        busy = max(1, len(lines))
+        if faults.enabled:
+            busy = faults.expansion_busy(busy)
+        self.busy_until = now + busy
         stats.add("dac.aeu_alu_cycles", max(1, len(lines)))
         if self.sm.trace_on:
             self.sm.tracer.expand(now, self.sm.index, warp.slot, entry.kind,
@@ -165,16 +185,21 @@ class PredicateExpansionUnit(ExpansionUnit):
                     continue
                 if warp.pwpq.full():
                     return False
+            faults = self.sm.faults
             for w, warp in enumerate(exec_.cta_warps):
                 mask = self._warp_slice(entry, w)
                 if not mask.any():
                     continue
                 bits = np.full(32, value)
-                warp.pwpq.push(PredRecord(entry.queue_id, bits, mask.copy()))
+                record = PredRecord(entry.queue_id, bits, mask.copy())
+                if faults.enabled:
+                    record = faults.on_pred_record(record)
+                warp.pwpq.push(record)
                 stats.add("dac.pred_records")
                 stats.add("dac.peu_scalar")
             self.atq.pop(key)
-            self.busy_until = now + 1
+            self.busy_until = now + (faults.expansion_busy(1)
+                                     if faults.enabled else 1)
             stats.add("dac.peu_alu_cycles")
             return True
 
@@ -208,9 +233,14 @@ class PredicateExpansionUnit(ExpansionUnit):
                 self.sm.stats.add("dac.peu_simt")
         else:
             self.sm.stats.add("dac.peu_simt")
-        warp.pwpq.push(PredRecord(entry.queue_id, bits, mask))
+        record = PredRecord(entry.queue_id, bits, mask)
+        faults = self.sm.faults
+        if faults.enabled:
+            record = faults.on_pred_record(record)
+        warp.pwpq.push(record)
         self.sm.stats.add("dac.pred_records")
-        self.busy_until = now + cost
+        self.busy_until = now + (faults.expansion_busy(cost)
+                                 if faults.enabled else cost)
         self.sm.stats.add("dac.peu_alu_cycles", cost)
         self._advance(entry, exec_, key)
         return True

@@ -105,6 +105,12 @@ class ATQ:
     def cta_keys(self) -> list[int]:
         return list(self._queues)
 
+    def recount(self) -> int:
+        """Entries actually resident, walked from the structures (the
+        runtime checkers compare this against the shared budget counter)."""
+        return sum(sum(1 for e in q if isinstance(e, TupleEntry))
+                   for q in self._queues.values())
+
     def __len__(self) -> int:
         return self._count
 

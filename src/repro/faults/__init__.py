@@ -1,0 +1,24 @@
+"""Fault injection and runtime architectural checking (robustness layer).
+
+Import :mod:`repro.faults.campaign` explicitly for the detect-or-survive
+fuzz campaign; it pulls in the whole simulator and is kept out of this
+package root so the sim core can import the hooks without a cycle.
+"""
+
+from .checkers import CheckerError, NULL_CHECKERS, NullCheckers, \
+    RuntimeCheckers
+from .plan import FAULT_CLASSES, FaultInjector, FaultPlan, FaultSpec, \
+    NULL_FAULTS, NullFaultInjector
+
+__all__ = [
+    "CheckerError",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_CHECKERS",
+    "NULL_FAULTS",
+    "NullCheckers",
+    "NullFaultInjector",
+    "RuntimeCheckers",
+]

@@ -1,0 +1,163 @@
+"""Detect-or-survive fault campaigns over the differential fuzz corpus.
+
+The resilience contract: under any injected microarchitectural fault the
+simulator must either **detect** the corruption (a runtime checker fires,
+the machine wedges into a :class:`SimulationHang`, or the final memory
+image differs from the functional oracle — all of which an experiment
+harness can observe) or **survive** it (the run completes with a
+bit-identical memory image, e.g. timing-only faults).  What is never
+acceptable is a *silent* failure: an unbounded hang, or an unclassified
+crash deep inside the model.
+
+:func:`run_case` runs one (seed, fault) cell and classifies it;
+:func:`run_campaign` sweeps seeds × fault classes and aggregates.  The
+fuzz generator only emits kernels with deterministic memory images, so
+the functional interpreter is a bit-exact oracle throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..sim.functional import run_functional
+from ..sim.gpu import SimulationHang
+from ..workloads.fuzz import build_fuzz_launch
+from .checkers import CheckerError, RuntimeCheckers
+from .plan import FAULT_CLASSES, FaultPlan
+
+#: Outcome taxonomy.  Everything except ``error`` honours the contract.
+OUTCOMES = (
+    "detected-checker",    # a runtime checker (or DAC runtime guard) fired
+    "detected-hang",       # the machine wedged; SimulationHang reported it
+    "detected-oracle",     # run completed but memory differs from oracle
+    "survived",            # bit-identical memory despite the fault
+    "fallback",            # safe mode replayed non-decoupled successfully
+    "not-triggered",       # the kernel never reached the fault site
+    "error",               # silent/unclassified failure — a repro bug
+)
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """One campaign cell: what happened when `kind` hit seed `seed`."""
+
+    seed: int
+    kind: str
+    index: int
+    outcome: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome != "error"
+
+
+@dataclass
+class CampaignReport:
+    outcomes: list = field(default_factory=list)
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """``{kind: {outcome: n}}`` over every recorded cell."""
+        table: dict[str, dict[str, int]] = {}
+        for cell in self.outcomes:
+            per = table.setdefault(cell.kind, {})
+            per[cell.outcome] = per.get(cell.outcome, 0) + 1
+        return table
+
+    def errors(self) -> list:
+        return [c for c in self.outcomes if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def render(self) -> str:
+        lines = ["fault campaign: detect-or-survive",
+                 f"  cells: {len(self.outcomes)}"]
+        table = self.counts()
+        width = max((len(k) for k in table), default=4)
+        for kind in sorted(table):
+            per = table[kind]
+            cells = ", ".join(f"{out}={per[out]}"
+                              for out in OUTCOMES if out in per)
+            lines.append(f"  {kind:<{width}}  {cells}")
+        errs = self.errors()
+        if errs:
+            lines.append(f"  SILENT FAILURES: {len(errs)}")
+            for cell in errs[:10]:
+                lines.append(f"    seed {cell.seed} {cell.kind}[{cell.index}]"
+                             f": {cell.detail}")
+        else:
+            lines.append("  no silent failures")
+        return "\n".join(lines)
+
+
+def _campaign_config(max_cycles: int) -> GPUConfig:
+    # One SM keeps the fuzz kernels small and the hang bound tight.
+    return GPUConfig(num_sms=1, max_cycles=max_cycles)
+
+
+def run_case(seed: int, kind: str, index: int = 0, magnitude: int = 1,
+             *, safe_mode: bool = False, checkers: bool = True,
+             max_cycles: int = 300_000) -> FaultOutcome:
+    """Inject one fault into one fuzz kernel under DAC and classify the
+    result against the functional oracle."""
+    from ..core import DecoupleRuntimeError, run_dac
+
+    oracle = build_fuzz_launch(seed)
+    run_functional(oracle)
+
+    launch = build_fuzz_launch(seed)
+    config = _campaign_config(max_cycles)
+    injector = FaultPlan.single(kind, index, magnitude).injector()
+    guard = RuntimeCheckers() if checkers else None
+
+    def cell(outcome: str, detail: str = "") -> FaultOutcome:
+        return FaultOutcome(seed, kind, index, outcome, detail)
+
+    try:
+        result = run_dac(launch, config, faults=injector, checkers=guard,
+                         safe_mode=safe_mode)
+    except CheckerError as exc:
+        return cell("detected-checker", str(exc))
+    except SimulationHang as exc:
+        return cell("detected-hang", exc.reason)
+    except DecoupleRuntimeError as exc:
+        return cell("detected-checker", f"DecoupleRuntimeError: {exc}")
+    except Exception as exc:                       # the contract's red line
+        return cell("error", f"{type(exc).__name__}: {exc}")
+
+    if "fallback_reason" in result.extra:
+        if np.array_equal(oracle.memory.words, launch.memory.words):
+            return cell("fallback", result.extra["fallback_reason"])
+        return cell("error", "safe-mode replay produced a corrupt image: "
+                    + result.extra["fallback_reason"])
+    if injector.fired() == 0:
+        return cell("not-triggered")
+    if np.array_equal(oracle.memory.words, launch.memory.words):
+        return cell("survived")
+    diff = np.nonzero(oracle.memory.words != launch.memory.words)[0]
+    return cell("detected-oracle",
+                f"memory differs at words {diff[:8].tolist()}")
+
+
+def run_campaign(seeds, classes=FAULT_CLASSES, index: int = 0,
+                 magnitude: int = 1, *, safe_mode: bool = False,
+                 checkers: bool = True, max_cycles: int = 300_000,
+                 progress=None) -> CampaignReport:
+    """Sweep seeds × fault classes; every cell must detect or survive."""
+    report = CampaignReport()
+    seeds = list(seeds)
+    total = len(seeds) * len(classes)
+    for seed in seeds:
+        for kind in classes:
+            cell = run_case(seed, kind, index, magnitude,
+                            safe_mode=safe_mode, checkers=checkers,
+                            max_cycles=max_cycles)
+            report.outcomes.append(cell)
+            if progress is not None:
+                progress(len(report.outcomes), total, cell)
+    return report

@@ -1,0 +1,129 @@
+"""Runtime architectural checkers for the DAC queues and expansion units.
+
+:mod:`repro.compiler.verifier` proves queue discipline *statically* — every
+``enq`` pairs with matching ``deq``s in matching order.  These monitors
+promote the same invariants into optional *dynamic* guards, checked while
+the simulation runs, so a microarchitectural fault (injected or real) that
+violates them is caught at the first bad dequeue instead of surfacing
+cycles later as wrong memory or a wedged warp:
+
+* **queue order** — the record at a per-warp queue head carries exactly the
+  ``queue_id`` and kind the consuming ``deq`` instruction names.
+* **expansion consistency** — an address record's compact encoding (line
+  addresses + word bit masks) re-derives from its per-thread addresses;
+  the AEU and the non-affine warp agree on what memory is touched.
+* **queue invariants** — shared ATQ budget matches the entries actually
+  resident, capacities are respected, fill counts never go negative.
+
+Checkers are passive: they never mutate simulator state and add no stats,
+so an enabled checker changes neither timing nor results on a healthy run.
+Like the fault injector, the null object is a fast path — every call site
+is guarded by ``checkers.enabled``.
+"""
+
+from __future__ import annotations
+
+from ..memory.coalescer import coalesce, word_mask
+
+
+class CheckerError(RuntimeError):
+    """A runtime architectural checker caught an invariant violation."""
+
+    def __init__(self, check: str, detail: str):
+        super().__init__(f"[{check}] {detail}")
+        self.check = check
+        self.detail = detail
+
+
+class NullCheckers:
+    """Do-nothing checker set installed by default (the fast path)."""
+
+    enabled = False
+    __slots__ = ()
+
+    def check_dequeue(self, sm, warp, token, record) -> None:
+        pass
+
+    def on_cycle(self, sm, now: int) -> None:
+        pass
+
+
+NULL_CHECKERS = NullCheckers()
+
+
+class RuntimeCheckers:
+    """Per-cycle and per-dequeue invariant monitors for one simulation."""
+
+    enabled = True
+
+    def check_dequeue(self, sm, warp, token, record) -> None:
+        """Validate the record a ``deq`` is about to consume (pre-pop)."""
+        if record.queue_id != token.queue_id:
+            raise CheckerError(
+                "queue_order",
+                f"sm{sm.index} warp slot {warp.slot}: deq expects queue "
+                f"{token.queue_id}, head record is for queue "
+                f"{record.queue_id}")
+        kind = getattr(record, "kind", "pred")
+        if kind != token.kind:
+            raise CheckerError(
+                "queue_order",
+                f"sm{sm.index} warp slot {warp.slot}: deq expects a "
+                f"{token.kind} record, head is {kind}")
+        if kind == "pred":
+            return
+        if record.fills_remaining < 0:
+            raise CheckerError(
+                "queue_invariant",
+                f"sm{sm.index} warp slot {warp.slot}: record for queue "
+                f"{record.queue_id} has fills_remaining="
+                f"{record.fills_remaining}")
+        lines = coalesce(record.addrs, record.mask)
+        if lines != record.lines:
+            raise CheckerError(
+                "expansion_consistency",
+                f"sm{sm.index} warp slot {warp.slot}: record lines "
+                f"{[hex(l) for l in record.lines]} != coalesce of its "
+                f"addresses {[hex(l) for l in lines]}")
+        masks = [word_mask(line, record.addrs, record.mask)
+                 for line in lines]
+        if masks != record.word_masks:
+            raise CheckerError(
+                "expansion_consistency",
+                f"sm{sm.index} warp slot {warp.slot}: record word masks "
+                f"disagree with its addresses for queue {record.queue_id}")
+
+    def on_cycle(self, sm, now: int) -> None:
+        """Queue-structure invariants, checked on every simulated cycle of
+        a DAC SM."""
+        for name, atq in (("atq_mem", sm.atq_mem), ("atq_pred",
+                                                    sm.atq_pred)):
+            count = len(atq)
+            if count > atq.capacity:
+                raise CheckerError(
+                    "queue_invariant",
+                    f"sm{sm.index} {name} holds {count} entries, "
+                    f"capacity {atq.capacity} (cycle {now})")
+            actual = atq.recount()
+            if count != actual:
+                raise CheckerError(
+                    "queue_invariant",
+                    f"sm{sm.index} {name} budget counter {count} != "
+                    f"{actual} resident entries (cycle {now})")
+        for warp in sm.warps:
+            pwaq = getattr(warp, "pwaq", None)
+            if pwaq is None:
+                continue
+            for qname, queue in (("pwaq", pwaq), ("pwpq", warp.pwpq)):
+                if len(queue) > queue.capacity:
+                    raise CheckerError(
+                        "queue_invariant",
+                        f"sm{sm.index} warp slot {warp.slot} {qname} "
+                        f"holds {len(queue)} records, capacity "
+                        f"{queue.capacity} (cycle {now})")
+            head = pwaq.head()
+            if head is not None and getattr(head, "fills_remaining", 0) < 0:
+                raise CheckerError(
+                    "queue_invariant",
+                    f"sm{sm.index} warp slot {warp.slot} pwaq head has "
+                    f"fills_remaining={head.fills_remaining} (cycle {now})")

@@ -1,0 +1,300 @@
+"""Deterministic, seeded microarchitectural fault injection.
+
+A :class:`FaultPlan` names *which* fault fires and *when* — ``(kind,
+index, magnitude)`` triples where ``index`` counts dynamic events of that
+kind — so a faulted run is exactly reproducible from ``(kernel seed, fault
+plan)``.  The simulator calls the plan's :class:`FaultInjector` through
+explicit hooks at the points the paper's correctness story depends on
+(PAPER.md §4): ATQ enqueue, AEU/PEU expansion, per-warp record delivery,
+cache fills, and DRAM responses.
+
+The null injector is a fast path exactly like the null tracer: every hook
+site is guarded by ``faults.enabled``, so fault-free runs execute the same
+instruction stream (and produce bit-identical :class:`Stats`) as before the
+subsystem existed.
+
+Fault classes
+-------------
+
+===================  ======================================================
+``tuple_corrupt``    perturb an affine tuple's base (and stride) at enqueue
+``atq_drop``         drop an ATQ entry at enqueue (never expanded)
+``record_corrupt``   perturb an expanded PWAQ record's thread addresses
+``record_drop``      drop an expanded record (the warp's dequeue starves)
+``record_dup``       deliver an expanded record twice (duplicated expansion)
+``pred_corrupt``     flip bits in an expanded PWPQ predicate record
+``expand_delay``     stretch one expansion's ALU busy window
+``cache_tag_flip``   flip a tag bit of the line just filled into a cache
+``dram_delay``       delay one DRAM read response
+===================  ======================================================
+
+Every class is *detect-or-survive* by construction of the checkers, the
+hang detector, and the safe-mode fallback: drops starve a dequeue and
+surface as a structured :class:`~repro.sim.gpu.SimulationHang`; corruptions
+either trip a :class:`~repro.faults.checkers.CheckerError` or change the
+memory image (caught by the differential oracle); delays and tag flips only
+perturb timing.  :mod:`repro.faults.campaign` asserts this over a seeded
+fuzz population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Every injectable fault class, in campaign rotation order.
+FAULT_CLASSES = (
+    "tuple_corrupt",
+    "atq_drop",
+    "record_corrupt",
+    "record_drop",
+    "record_dup",
+    "pred_corrupt",
+    "expand_delay",
+    "cache_tag_flip",
+    "dram_delay",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire on the ``index``-th dynamic event of
+    ``kind``; ``magnitude`` scales the payload (delay cycles, bit position,
+    address perturbation in words)."""
+
+    kind: str
+    index: int
+    magnitude: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_CLASSES:
+            raise ValueError(f"unknown fault class {self.kind!r}; choose "
+                             f"from {FAULT_CLASSES}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of faults to inject into one simulation."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def single(cls, kind: str, index: int = 0,
+               magnitude: int = 1, seed: int = 0) -> "FaultPlan":
+        return cls(specs=(FaultSpec(kind, index, magnitude),), seed=seed)
+
+    @classmethod
+    def random(cls, seed: int, classes=FAULT_CLASSES,
+               count: int = 1, max_index: int = 4) -> "FaultPlan":
+        """A deterministic plan derived from ``seed``: ``count`` faults,
+        classes rotated from the seed, early dynamic indices so the faults
+        actually fire on small kernels."""
+        rng = np.random.default_rng(seed)
+        classes = tuple(classes)
+        specs = []
+        for i in range(count):
+            kind = classes[(seed + i) % len(classes)]
+            specs.append(FaultSpec(kind,
+                                   int(rng.integers(0, max_index)),
+                                   int(rng.integers(1, 4))))
+        return cls(specs=tuple(specs), seed=seed)
+
+    def injector(self) -> "FaultInjector | NullFaultInjector":
+        """The runtime hook object for one GPU instance.  An empty plan
+        yields the shared null injector (the fast path)."""
+        if not self.specs:
+            return NULL_FAULTS
+        return FaultInjector(self)
+
+
+class NullFaultInjector:
+    """Do-nothing injector installed by default.  ``enabled`` is False so
+    hot paths skip the hooks entirely; the methods still exist so cold
+    paths may call them unguarded."""
+
+    enabled = False
+    __slots__ = ()
+
+    #: Chronological ``(kind, detail)`` log of fired faults (always empty
+    #: here; class attribute so the null object stays stateless).
+    log: tuple = ()
+
+    def attach(self, gpu) -> None:
+        pass
+
+    def on_enqueue(self, entry):
+        return entry
+
+    def on_address_record(self, record):
+        return (record,)
+
+    def on_pred_record(self, record):
+        return record
+
+    def expansion_busy(self, cycles: int) -> int:
+        return cycles
+
+    def cache_fill(self, cache, line_addr: int) -> None:
+        pass
+
+    def dram_delay(self) -> int:
+        return 0
+
+    def fired(self, kind: str | None = None) -> int:
+        return 0
+
+
+NULL_FAULTS = NullFaultInjector()
+
+
+class FaultInjector:
+    """Runtime state of one :class:`FaultPlan` over one simulation.
+
+    Each hook counts its dynamic events; when the count matches an armed
+    :class:`FaultSpec` the fault fires exactly once and is logged.  All
+    perturbations are word-aligned and positive so corrupted addresses stay
+    inside the device-memory image (a wild pointer would crash the
+    functional layer rather than model a microarchitectural fault).
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._armed: dict[str, dict[int, FaultSpec]] = {}
+        for spec in plan.specs:
+            self._armed.setdefault(spec.kind, {})[spec.index] = spec
+        self._counts: dict[str, int] = {}
+        self.log: list[tuple[str, str]] = []
+        self._gpu = None
+
+    def attach(self, gpu) -> None:
+        """Bind the owning GPU so fired faults land on its trace timeline
+        (as ``fault.<kind>`` instant events) with the firing cycle."""
+        self._gpu = gpu
+
+    def _note(self, event: tuple[str, str]) -> None:
+        self.log.append(event)
+        gpu = self._gpu
+        if gpu is not None and gpu.tracer.enabled:
+            gpu.tracer.fault(gpu.now, event[0], event[1])
+
+    def fired(self, kind: str | None = None) -> int:
+        """How many faults actually fired (optionally of one class)."""
+        if kind is None:
+            return len(self.log)
+        return sum(1 for k, _ in self.log if k == kind)
+
+    def _match(self, kind: str) -> FaultSpec | None:
+        armed = self._armed.get(kind)
+        if armed is None:
+            return None
+        count = self._counts.get(kind, 0)
+        self._counts[kind] = count + 1
+        return armed.get(count)
+
+    # ---- affine-warp enqueue (ATQ) ------------------------------------
+
+    def on_enqueue(self, entry):
+        """Called with every :class:`TupleEntry` the affine warp is about
+        to push; returns the (possibly corrupted) entry, or ``None`` to
+        drop it."""
+        if entry.kind in ("data", "addr"):
+            spec = self._match("tuple_corrupt")
+            if spec is not None:
+                corrupted = self._corrupt_expr(entry.expr, spec)
+                if corrupted is not None:
+                    entry.expr = corrupted
+                    self._note(("tuple_corrupt",
+                                     f"queue {entry.queue_id}"))
+        spec = self._match("atq_drop")
+        if spec is not None:
+            self._note(("atq_drop", f"{entry.kind} entry for "
+                             f"queue {entry.queue_id}"))
+            return None
+        return entry
+
+    @staticmethod
+    def _corrupt_expr(expr, spec: FaultSpec):
+        """A word-aligned perturbation of an affine tuple (base, and stride
+        for magnitude > 1) or of already-concrete per-thread values.
+        Returns None when the expression form is not corruptible."""
+        from ..affine import AffineTuple
+        from ..core.affine_warp import ConcreteExpr
+        if isinstance(expr, AffineTuple):
+            if spec.magnitude > 1 and not expr.is_mod:
+                return replace(expr, base=expr.base + 4.0,
+                               offsets=tuple(o + 4.0 if o else o
+                                             for o in expr.offsets))
+            return replace(expr, base=expr.base + 4.0 * spec.magnitude)
+        if isinstance(expr, ConcreteExpr):
+            return ConcreteExpr(expr.values + 4.0 * spec.magnitude)
+        return None
+
+    # ---- expansion-unit output (PWAQ / PWPQ) --------------------------
+
+    def on_address_record(self, record):
+        """Called with every expanded :class:`AddressRecord` before it is
+        delivered; returns the sequence of records to deliver (empty =
+        dropped, two identical = duplicated expansion)."""
+        spec = self._match("record_corrupt")
+        if spec is not None:
+            record.addrs = record.addrs + 4.0 * spec.magnitude
+            self._note(("record_corrupt", f"queue {record.queue_id}"))
+        spec = self._match("record_drop")
+        if spec is not None:
+            self._note(("record_drop", f"{record.kind} record for "
+                             f"queue {record.queue_id}"))
+            return ()
+        spec = self._match("record_dup")
+        if spec is not None:
+            self._note(("record_dup", f"queue {record.queue_id}"))
+            return (record, record)
+        return (record,)
+
+    def on_pred_record(self, record):
+        """Called with every expanded :class:`PredRecord`; may flip bits."""
+        spec = self._match("pred_corrupt")
+        if spec is not None:
+            bits = record.bits.copy()
+            lane = spec.magnitude % len(bits)
+            bits[lane] = ~bits[lane]
+            record.bits = bits
+            self._note(("pred_corrupt",
+                             f"queue {record.queue_id} lane {lane}"))
+        return record
+
+    def expansion_busy(self, cycles: int) -> int:
+        """ALU busy window for one expansion, possibly stretched."""
+        spec = self._match("expand_delay")
+        if spec is not None:
+            self._note(("expand_delay",
+                             f"+{16 * spec.magnitude} cycles"))
+            return cycles + 16 * spec.magnitude
+        return cycles
+
+    # ---- memory system -------------------------------------------------
+
+    def cache_fill(self, cache, line_addr: int) -> None:
+        """Called after a line is installed; may flip a bit in its tag
+        (the line then answers for a different address — a later demand
+        access misses and refetches, a timing-only wound)."""
+        spec = self._match("cache_tag_flip")
+        if spec is None:
+            return
+        line = cache._lookup(line_addr)
+        if line is not None:
+            line.tag ^= 1 << (spec.magnitude % 8)
+            self._note(("cache_tag_flip",
+                             f"{cache.name} line {line_addr:#x}"))
+
+    def dram_delay(self) -> int:
+        """Extra cycles added to one DRAM read response."""
+        spec = self._match("dram_delay")
+        if spec is not None:
+            delay = 64 * spec.magnitude
+            self._note(("dram_delay", f"+{delay} cycles"))
+            return delay
+        return 0

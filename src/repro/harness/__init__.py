@@ -23,7 +23,7 @@ from .diskcache import (
     result_to_json,
     result_to_json_dict,
 )
-from .parallel import default_jobs, run_grid
+from .parallel import GridCheckpoint, GridReport, default_jobs, run_grid
 from .report import ascii_table, bar
 from .export import to_csv, to_json
 from .profile import Profile, profile
@@ -43,7 +43,8 @@ from .runner import (
 )
 
 __all__ = [
-    "DiskCache", "Geomean", "Profile", "SweepPoint", "SweepResult",
+    "DiskCache", "Geomean", "GridCheckpoint", "GridReport", "Profile",
+    "SweepPoint", "SweepResult",
     "TECHNIQUES", "ascii_table", "bar", "cache_key", "clear_cache",
     "configure_cache", "default_cache_dir", "default_jobs", "disk_cache",
     "experiment_config", "fig6_affine_potential", "fig6_report",

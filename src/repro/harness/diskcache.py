@@ -132,20 +132,32 @@ class DiskCache:
     """
 
     SUFFIX = ".pkl.z"
+    CORRUPT_SUFFIX = ".pkl.z.corrupt"
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{self.SUFFIX}"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside as ``<key>.pkl.z.corrupt``: it stops
+        being re-parsed on every run (the ``.corrupt`` suffix never matches
+        a lookup), yet the bytes survive for forensics."""
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+
     def load(self, key: str) -> RunResult | None:
         """The stored result, or ``None`` on a miss.  A corrupt entry
         (torn by a crash predating atomic writes, or truncated disk) is
-        removed and reads as a miss."""
+        quarantined with a ``.corrupt`` suffix and reads as a miss."""
         path = self._path(key)
         try:
             blob = path.read_bytes()
@@ -155,11 +167,11 @@ class DiskCache:
             return None
         except Exception:
             self.misses += 1
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
         if not isinstance(result, RunResult):
             self.misses += 1
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
@@ -188,11 +200,14 @@ class DiskCache:
         return False
 
     def clear(self) -> int:
-        """Drop every entry; returns the number removed."""
+        """Drop every entry (including quarantined ones); returns the
+        number of live entries removed."""
         removed = 0
         for path in self.root.glob(f"*{self.SUFFIX}"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.root.glob(f"*{self.CORRUPT_SUFFIX}"):
+            path.unlink(missing_ok=True)
         return removed
 
     def keys(self) -> list[str]:

@@ -9,26 +9,52 @@ atomically, so concurrent writers are safe), and the parent installs every
 returned result into its in-process memo cache — after a parallel prewarm,
 the serial figure drivers run entirely on cache hits.
 
-Failures degrade gracefully: a task whose result (or arguments) will not
-pickle, a crashed worker, or a broken pool all fall back to running the
-affected tasks serially in the parent, so ``--jobs N`` can never produce
-less than the serial path would.
+Failure handling distinguishes three classes:
+
+* **Deterministic in-task exceptions** (the simulation itself raised) are
+  re-raised in the parent immediately — retrying a deterministic failure
+  serially can only reproduce it more slowly.
+* **Transient worker/pool failures** (a crashed worker, an unpicklable
+  result, a pool that would not start) are retried up to ``retries`` times
+  with exponential backoff, then run serially in the parent, so ``--jobs
+  N`` can never produce less than the serial path would.
+* **Hangs**: with a per-cell wall-clock ``timeout``, a cell that exceeds
+  it is abandoned (the pool is torn down without waiting for the hung
+  worker), retried, and finally **quarantined** — the rest of the grid
+  still completes, and the quarantine list is reported instead of the
+  whole sweep dying.
+
+A :class:`GridCheckpoint` directory makes long sweeps resumable: every
+finished cell is persisted as it lands, so a re-run with the same
+checkpoint skips straight past completed (and quarantined) cells.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import os
 import pickle
 import sys
+import tempfile
+import time
+import warnings
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..config import GPUConfig
 from ..sim.gpu import RunResult
 
 #: Task: (benchmark abbr, technique, GPUConfig).
 Task = tuple
+
+#: Exceptions that indicate worker/pool infrastructure trouble rather than
+#: a deterministic failure of the task itself.
+_TRANSIENT = (BrokenProcessPool, pickle.PicklingError)
 
 
 def default_jobs() -> int:
@@ -38,8 +64,110 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid REPRO_JOBS={env!r} (expected a positive "
+                f"integer); using cpu_count", RuntimeWarning, stacklevel=2)
     return os.cpu_count() or 1
+
+
+@dataclass
+class GridReport:
+    """What :func:`run_grid` did beyond the happy path."""
+
+    total: int = 0
+    completed: int = 0                         # fresh results this call
+    resumed: int = 0                           # restored from checkpoint
+    retries: int = 0                           # task re-submissions
+    timeouts: int = 0                          # wall-clock expirations
+    quarantined: list = field(default_factory=list)      # abandoned tasks
+    failures: dict = field(default_factory=dict)         # task -> reason
+
+    def summary(self) -> str:
+        parts = [f"{self.completed}/{self.total} run"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        return ", ".join(parts)
+
+
+class GridCheckpoint:
+    """Resumable sweep state: a directory holding one ``state.json`` plus a
+    compressed pickle per finished cell, all written atomically.
+
+    Cells are keyed by a digest of (abbr, technique, scale, config) — the
+    same identity :func:`run_grid` partitions work by — so a re-run with
+    the same task list resumes exactly where the previous run stopped,
+    including remembering which cells were quarantined.
+    """
+
+    STATE = "state.json"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._state: dict[str, dict] = {}
+        path = self.root / self.STATE
+        try:
+            self._state = json.loads(path.read_text())
+        except FileNotFoundError:
+            pass
+        except Exception:
+            # A torn state file loses resume info, never correctness.
+            self._state = {}
+
+    @staticmethod
+    def digest(task: Task, scale: str) -> str:
+        abbr, technique, config = task
+        payload = json.dumps(
+            [abbr, technique, scale, dataclasses.asdict(config)],
+            sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def status(self, digest: str) -> str | None:
+        entry = self._state.get(digest)
+        return entry["status"] if entry else None
+
+    def record_done(self, digest: str, task: Task, result: RunResult) -> None:
+        blob = zlib.compress(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL), 1)
+        self._write_atomic(self.root / f"{digest}.pkl.z", blob)
+        self._state[digest] = {"task": [task[0], task[1]], "status": "done"}
+        self._save_state()
+
+    def record_quarantined(self, digest: str, task: Task,
+                           error: str) -> None:
+        self._state[digest] = {"task": [task[0], task[1]],
+                               "status": "quarantined", "error": error}
+        self._save_state()
+
+    def load_result(self, digest: str) -> RunResult | None:
+        try:
+            blob = (self.root / f"{digest}.pkl.z").read_bytes()
+            result = pickle.loads(zlib.decompress(blob))
+        except Exception:
+            return None
+        return result if isinstance(result, RunResult) else None
+
+    def _save_state(self) -> None:
+        self._write_atomic(self.root / self.STATE,
+                           json.dumps(self._state, sort_keys=True,
+                                      indent=1).encode())
+
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
 
 def _worker(abbr: str, technique: str, scale: str, config: GPUConfig,
@@ -64,18 +192,27 @@ def _worker(abbr: str, technique: str, scale: str, config: GPUConfig,
 
 
 def _run_serial(tasks, scale: str, use_cache: bool, results: dict,
-                progress, total: int) -> None:
+                progress, total: int, checkpoint=None, report=None) -> None:
     from . import runner
     for abbr, technique, config in tasks:
         result = runner.run_one(abbr, technique, scale, config,
                                 use_cache=use_cache)
-        results[(abbr, technique, config)] = result
+        task = (abbr, technique, config)
+        results[task] = result
+        if report is not None:
+            report.completed += 1
+        if checkpoint is not None:
+            checkpoint.record_done(GridCheckpoint.digest(task, scale),
+                                   task, result)
         if progress is not None:
             progress(len(results), total, abbr, technique, result)
 
 
 def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
-             use_cache: bool = True, progress=None) -> dict:
+             use_cache: bool = True, progress=None,
+             timeout: float | None = None, retries: int = 1,
+             backoff: float = 0.5, checkpoint=None,
+             report: GridReport | None = None) -> dict:
     """Fan ``tasks`` — (abbr, technique) pairs or (abbr, technique,
     config) triples — out over ``jobs`` worker processes.
 
@@ -83,7 +220,19 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
     installed into the in-process memo cache (and, when enabled, written
     to the disk cache by the workers), so subsequent serial calls hit.
     ``progress(done, total, abbr, technique, result)`` fires per finished
-    run.  Worker or pickling failures fall back to serial execution.
+    run.
+
+    ``timeout`` bounds each cell's wall-clock seconds (parallel path
+    only); an expired cell is retried up to ``retries`` times with
+    ``backoff``-seconds exponential backoff, then quarantined — the rest
+    of the grid still completes, minus the quarantined cells.  Transient
+    worker/pool failures retry the same way, then fall back to serial.
+    Deterministic in-task exceptions are re-raised immediately.
+
+    ``checkpoint`` (a directory path or :class:`GridCheckpoint`) makes the
+    sweep resumable: finished cells are persisted as they land and skipped
+    on the next call.  Pass a :class:`GridReport` as ``report`` to receive
+    retry/timeout/quarantine accounting.
     """
     from . import runner
 
@@ -96,61 +245,190 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
             abbr, technique, config = task
         norm.append((abbr, technique, config))
 
+    if report is None:
+        report = GridReport()
+    report.total = len(norm)
+    if checkpoint is not None and not isinstance(checkpoint,
+                                                 GridCheckpoint):
+        checkpoint = GridCheckpoint(checkpoint)
+
     results: dict = {}
     pending: list[Task] = []
-    for abbr, technique, config in norm:
+    for task in norm:
+        abbr, technique, config = task
+        if checkpoint is not None:
+            digest = GridCheckpoint.digest(task, scale)
+            status = checkpoint.status(digest)
+            if status == "done":
+                result = checkpoint.load_result(digest)
+                if result is not None:
+                    runner._remember(abbr, technique, scale, config, result)
+                    results[task] = result
+                    report.resumed += 1
+                    if progress is not None:
+                        progress(len(results), len(norm), abbr, technique,
+                                 result)
+                    continue
+            elif status == "quarantined":
+                report.quarantined.append(task)
+                report.failures[task] = "quarantined in a previous run"
+                continue
         if use_cache and runner.is_cached(abbr, technique, scale, config):
-            results[(abbr, technique, config)] = runner.run_one(
-                abbr, technique, scale, config)
+            results[task] = runner.run_one(abbr, technique, scale, config)
         else:
-            pending.append((abbr, technique, config))
+            pending.append(task)
     total = len(norm)
 
     jobs = jobs if jobs is not None else default_jobs()
     if jobs <= 1 or len(pending) <= 1:
-        _run_serial(pending, scale, use_cache, results, progress, total)
+        _run_serial(pending, scale, use_cache, results, progress, total,
+                    checkpoint=checkpoint, report=report)
         return results
 
     disk = runner.disk_cache() if use_cache else None
     cache_dir = disk.root if disk is not None else None
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) \
-                as pool:
-            futures = {}
-            for task in pending:
-                abbr, technique, config = task
-                futures[pool.submit(_worker, abbr, technique, scale,
-                                    config, cache_dir)] = task
-            failed: list[Task] = []
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done,
-                                      return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures[future]
-                    abbr, technique, config = task
-                    exc = future.exception()
-                    if isinstance(exc, (BrokenProcessPool,
-                                        pickle.PicklingError, OSError)):
-                        failed.append(task)
-                        continue
-                    if exc is not None:
-                        raise exc
-                    result = pickle.loads(zlib.decompress(future.result()))
-                    if use_cache:
-                        runner._remember(abbr, technique, scale, config,
-                                         result)
-                    results[task] = result
-                    if progress is not None:
-                        progress(len(results), total, abbr, technique,
-                                 result)
-    except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
-        print(f"repro: parallel execution failed ({exc!r}); "
-              f"falling back to serial", file=sys.stderr)
-        failed = [t for t in pending if t not in results]
 
-    if failed:
-        print(f"repro: re-running {len(failed)} task(s) serially after "
-              f"worker failure", file=sys.stderr)
-        _run_serial(failed, scale, use_cache, results, progress, total)
+    def finish(task: Task, result: RunResult) -> None:
+        abbr, technique, config = task
+        if use_cache:
+            runner._remember(abbr, technique, scale, config, result)
+        results[task] = result
+        report.completed += 1
+        if checkpoint is not None:
+            checkpoint.record_done(GridCheckpoint.digest(task, scale),
+                                   task, result)
+        if progress is not None:
+            progress(len(results), total, abbr, technique, result)
+
+    attempts: dict[Task, int] = {}
+    queue = list(pending)
+    serial_fallback: list[Task] = []
+    wave = 0
+    while queue:
+        if wave > 0:
+            time.sleep(min(30.0, backoff * (2 ** (wave - 1))))
+        transient: list[Task] = []
+        timed_out: list[Task] = []
+        carryover: list[Task] = []
+        hung = False
+        fatal = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(queue)))
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            print(f"repro: parallel execution failed ({exc!r}); "
+                  f"falling back to serial", file=sys.stderr)
+            serial_fallback.extend(queue)
+            break
+        feed = iter(queue)
+        futures: dict = {}
+        deadlines: dict = {}
+
+        def submit_next() -> bool:
+            task = next(feed, None)
+            if task is None:
+                return False
+            future = pool.submit(_worker, task[0], task[1], scale,
+                                 task[2], cache_dir)
+            futures[future] = task
+            if timeout is not None:
+                deadlines[future] = time.monotonic() + timeout
+            return True
+
+        try:
+            for _ in range(min(jobs, len(queue))):
+                submit_next()
+            while futures:
+                wait_for = None
+                if timeout is not None:
+                    wait_for = max(0.0, min(deadlines.values())
+                                   - time.monotonic())
+                done, _ = wait(set(futures), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures.pop(future)
+                    deadlines.pop(future, None)
+                    exc = future.exception()
+                    if isinstance(exc, _TRANSIENT):
+                        transient.append(task)
+                    elif exc is not None:
+                        # Deterministic in-task failure: retrying (or a
+                        # serial re-run) can only reproduce it more slowly.
+                        fatal = exc
+                        break
+                    else:
+                        finish(task, pickle.loads(
+                            zlib.decompress(future.result())))
+                    submit_next()
+                if fatal is not None:
+                    break
+                if timeout is not None:
+                    now = time.monotonic()
+                    expired = [f for f in futures if now >= deadlines[f]]
+                    if expired:
+                        # A hung worker cannot be interrupted; abandon the
+                        # whole pool and restart the innocents next wave.
+                        hung = True
+                        for future in expired:
+                            task = futures.pop(future)
+                            deadlines.pop(future, None)
+                            future.cancel()
+                            timed_out.append(task)
+                            report.timeouts += 1
+                        carryover.extend(futures.values())
+                        break
+        except _TRANSIENT + (OSError,) as exc:
+            print(f"repro: parallel execution failed ({exc!r}); "
+                  f"falling back to serial", file=sys.stderr)
+            serial_fallback.extend(t for t in queue
+                                   if t not in results
+                                   and t not in transient
+                                   and t not in timed_out)
+            transient = []
+            carryover = []
+        finally:
+            shutdown = getattr(pool, "shutdown", None)
+            if shutdown is not None:
+                if hung or fatal is not None:
+                    # Never join a pool holding a hung worker — and kill
+                    # the workers outright, or the interpreter's exit
+                    # handler would join (i.e. hang on) them later.
+                    shutdown(wait=False, cancel_futures=True)
+                    for proc in list((getattr(pool, "_processes", None)
+                                      or {}).values()):
+                        proc.terminate()
+                else:
+                    shutdown(wait=True, cancel_futures=True)
+        if fatal is not None:
+            raise fatal
+
+        queue = list(carryover)
+        for task in transient:
+            attempts[task] = attempts.get(task, 0) + 1
+            if attempts[task] > retries:
+                serial_fallback.append(task)
+            else:
+                report.retries += 1
+                queue.append(task)
+        for task in timed_out:
+            attempts[task] = attempts.get(task, 0) + 1
+            if attempts[task] > retries:
+                report.quarantined.append(task)
+                report.failures[task] = \
+                    f"timed out after {timeout}s x {attempts[task]} attempts"
+                print(f"repro: quarantining {task[0]}/{task[1]} after "
+                      f"{attempts[task]} timeout(s)", file=sys.stderr)
+                if checkpoint is not None:
+                    checkpoint.record_quarantined(
+                        GridCheckpoint.digest(task, scale), task,
+                        report.failures[task])
+            else:
+                report.retries += 1
+                queue.append(task)
+        wave += 1
+
+    if serial_fallback:
+        print(f"repro: re-running {len(serial_fallback)} task(s) serially "
+              f"after worker failure", file=sys.stderr)
+        _run_serial(serial_fallback, scale, use_cache, results, progress,
+                    total, checkpoint=checkpoint, report=report)
     return results

@@ -167,12 +167,16 @@ def run_suite(abbrs, scale: str = "paper",
               config: GPUConfig | None = None,
               techniques=TECHNIQUES,
               progress=None, jobs: int = 1,
-              use_cache: bool = True) -> dict[str, dict[str, RunResult]]:
+              use_cache: bool = True,
+              timeout: float | None = None, retries: int = 1,
+              checkpoint=None) -> dict[str, dict[str, RunResult]]:
     """Run the (benchmark × technique) grid.
 
     With ``jobs > 1`` the grid is fanned out over worker processes first
     (falling back to serial on worker failure); results land in the memo
     and disk caches, so the per-benchmark assembly below is all hits.
+    ``timeout``/``retries``/``checkpoint`` harden the parallel fan-out —
+    see :func:`repro.harness.parallel.run_grid`.
     """
     config = config or experiment_config()
     abbrs = list(abbrs)
@@ -180,7 +184,8 @@ def run_suite(abbrs, scale: str = "paper",
         from .parallel import run_grid
         run_grid([(abbr, tech, config) for abbr in abbrs
                   for tech in techniques],
-                 scale, jobs=jobs, use_cache=use_cache)
+                 scale, jobs=jobs, use_cache=use_cache,
+                 timeout=timeout, retries=retries, checkpoint=checkpoint)
     out = {}
     for abbr in abbrs:
         out[abbr] = run_benchmark(abbr, scale, config, techniques)

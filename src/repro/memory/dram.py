@@ -15,6 +15,7 @@ from typing import Callable
 
 from ..config import DRAMConfig
 from ..events import EventQueue
+from ..faults.plan import NULL_FAULTS
 from ..stats import Stats
 
 
@@ -29,11 +30,12 @@ class DRAM:
     """
 
     def __init__(self, config: DRAMConfig, events: EventQueue, stats: Stats,
-                 name: str = "dram"):
+                 name: str = "dram", faults=NULL_FAULTS):
         self.config = config
         self.events = events
         self.stats = stats
         self.name = name
+        self.faults = faults
         n = config.num_banks
         self._queues: list[deque] = [deque() for _ in range(n)]
         self._bank_free = [0] * n
@@ -124,6 +126,8 @@ class DRAM:
         if cb is not None:
             finish = int(data_start + self.config.burst_cycles
                          + self._pipe_out)
+            if self.faults.enabled:
+                finish += self.faults.dram_delay()
             self.events.schedule(finish, cb)
         if queue:
             self._schedule_kick(bank, done)

@@ -16,7 +16,7 @@ from .functional import (
     TraceEntry,
     run_functional,
 )
-from .gpu import GPU, DeadlockError, RunResult, simulate
+from .gpu import GPU, DeadlockError, RunResult, SimulationHang, simulate
 from .launch import CTAState, GlobalMemory, KernelLaunch
 from .scheduler import Scheduler
 from .simt_stack import SIMTStack
@@ -27,6 +27,6 @@ __all__ = [
     "CAEConfig", "CTAState", "CacheConfig", "DACConfig", "DRAMConfig",
     "DeadlockError", "FunctionalInterpreter", "FunctionalResult", "GPU",
     "GPUConfig", "GlobalMemory", "KernelLaunch", "MTAConfig", "RunResult",
-    "SIMTStack", "SM", "Scheduler", "Stats", "TraceEntry", "WarpContext",
-    "WarpExecutor", "alu", "run_functional", "simulate",
+    "SIMTStack", "SM", "Scheduler", "SimulationHang", "Stats", "TraceEntry",
+    "WarpContext", "WarpExecutor", "alu", "run_functional", "simulate",
 ]

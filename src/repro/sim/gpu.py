@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..compiler.cfg import CFG
 from ..config import GPUConfig
 from ..events import EventQueue
+from ..faults import NULL_CHECKERS, NULL_FAULTS
 from ..memory.hierarchy import MemoryHierarchy
 from ..stats import Stats
 from ..trace.tracer import NULL_TRACER
@@ -17,6 +18,44 @@ from .sm import SM
 class DeadlockError(RuntimeError):
     """The machine can make no further progress (a modeling bug or a
     mis-decoupled kernel)."""
+
+
+class SimulationHang(DeadlockError):
+    """A structured hang report: either forward progress stopped entirely
+    (``no_progress``) or the run hit the ``max_cycles`` wall.
+
+    Beyond the message, the exception carries machine-readable state so the
+    harness and the fault campaign can classify hangs without parsing text:
+    the PR-2 stall attribution of every scheduler at the moment of death,
+    DAC queue occupancies, the cycle of the last issued instruction, and a
+    per-warp state table.
+    """
+
+    def __init__(self, reason: str, cycle: int, last_progress_cycle: int,
+                 stall_snapshot: dict, queue_occupancy: dict,
+                 warp_states: list[str]):
+        self.reason = reason
+        self.cycle = cycle
+        self.last_progress_cycle = last_progress_cycle
+        self.stall_snapshot = dict(stall_snapshot)
+        self.queue_occupancy = dict(queue_occupancy)
+        self.warp_states = list(warp_states)
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        head = ("simulation hang" if self.reason == "no_progress"
+                else f"exceeded max_cycles")
+        lines = [f"{head} at cycle {self.cycle} "
+                 f"(last progress at cycle {self.last_progress_cycle})"]
+        if self.stall_snapshot:
+            stalls = ", ".join(f"{k}={v}" for k, v in
+                               sorted(self.stall_snapshot.items()))
+            lines.append(f"  scheduler stalls: {stalls}")
+        for sm, occ in sorted(self.queue_occupancy.items()):
+            body = ", ".join(f"{k}={v}" for k, v in sorted(occ.items()))
+            lines.append(f"  sm{sm} queues: {body}")
+        lines.extend(self.warp_states)
+        return "\n".join(lines)
 
 
 @dataclass
@@ -44,19 +83,25 @@ class RunResult:
 class GPU:
     """A simulated GPU instance.  Create one per kernel launch."""
 
-    def __init__(self, config: GPUConfig, dac_program=None, tracer=None):
+    def __init__(self, config: GPUConfig, dac_program=None, tracer=None,
+                 faults=None, checkers=None):
         self.config = config
         self.dac_program = dac_program
         self.stats = Stats()
         self.events = EventQueue()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NULL_FAULTS
+        self.checkers = checkers if checkers is not None else NULL_CHECKERS
+        self.faults.attach(self)
         self.now = 0
         self.hierarchy = MemoryHierarchy(config, self.events, self.stats,
-                                         tracer=self.tracer)
+                                         tracer=self.tracer,
+                                         faults=self.faults)
         self.sms = [self._make_sm(i) for i in range(config.num_sms)]
         self._cfg_cache: dict[int, CFG] = {}
         self._pending_blocks: list[tuple[int, int, int]] = []
         self._launch: KernelLaunch | None = None
+        self._last_progress = 0
 
     def _make_sm(self, index: int) -> SM:
         technique = self.config.technique
@@ -113,6 +158,7 @@ class GPU:
 
         now = 0
         idle_streak = 0
+        self._last_progress = 0
         tracer = self.tracer
         trace = tracer.enabled
         while True:
@@ -126,11 +172,11 @@ class GPU:
                                                     for sm in self.sms):
                 break
             if now >= self.config.max_cycles:
-                raise DeadlockError(
-                    f"exceeded max_cycles={self.config.max_cycles}")
+                raise self._hang("max_cycles", now)
             if issued:
                 if trace:
                     tracer.commit(now, 1, self.sms)
+                self._last_progress = now
                 now += 1
                 idle_streak = 0
                 continue
@@ -149,7 +195,7 @@ class GPU:
             if not candidates:
                 idle_streak += 1
                 if idle_streak > 4:
-                    raise DeadlockError(self._deadlock_report(now))
+                    raise self._hang("no_progress", now)
                 if trace:
                     tracer.commit(now, 1, self.sms)
                 now += 1
@@ -174,8 +220,34 @@ class GPU:
         return RunResult(cycles=now, stats=self.stats, config=self.config,
                          kernel_name=launch.kernel.name)
 
-    def _deadlock_report(self, now: int) -> str:
-        lines = [f"deadlock at cycle {now}"]
+    def _hang(self, reason: str, now: int) -> SimulationHang:
+        """The structured report for either hang path: per-scheduler stall
+        attribution (the read-only PR-2 diagnosis), DAC queue occupancies,
+        and a per-warp state table."""
+        stalls: dict[str, int] = {}
+        for sm in self.sms:
+            for scheduler in sm.schedulers:
+                if not scheduler.warps:
+                    continue
+                why, _slot = sm.diagnose_stall(scheduler, now)
+                stalls[why] = stalls.get(why, 0) + 1
+        occupancy: dict[int, dict[str, int]] = {}
+        for sm in self.sms:
+            if not hasattr(sm, "atq_mem"):
+                continue
+            occupancy[sm.index] = {
+                "atq_mem": len(sm.atq_mem),
+                "atq_pred": len(sm.atq_pred),
+                "pwaq": sum(len(w.pwaq) for w in sm.warps
+                            if hasattr(w, "pwaq")),
+                "pwpq": sum(len(w.pwpq) for w in sm.warps
+                            if hasattr(w, "pwpq")),
+            }
+        return SimulationHang(reason, now, self._last_progress, stalls,
+                              occupancy, self._warp_states())
+
+    def _warp_states(self) -> list[str]:
+        lines = []
         for sm in self.sms:
             for warp in sm.warps:
                 inst = warp.launch.kernel.instructions[warp.pc] \
@@ -186,10 +258,11 @@ class GPU:
                     f"done={warp.done} barrier={warp.at_barrier} "
                     f"pending={ {k: v for k, v in warp.pending.items() if v} } "
                     f"inst={inst}")
-        return "\n".join(lines)
+        return lines
 
 
-def simulate(launch: KernelLaunch, config: GPUConfig,
-             tracer=None) -> RunResult:
+def simulate(launch: KernelLaunch, config: GPUConfig, tracer=None,
+             faults=None, checkers=None) -> RunResult:
     """Convenience one-call entry point."""
-    return GPU(config, tracer=tracer).run(launch)
+    return GPU(config, tracer=tracer, faults=faults,
+               checkers=checkers).run(launch)

@@ -1,0 +1,135 @@
+"""Fault-injection subsystem: seeded plans, the null fast path, runtime
+checkers, safe-mode fallback, and the detect-or-survive contract.
+
+Every injected microarchitectural fault must be *detected* (a checker
+fires, the machine wedges into a reported hang, or the final memory image
+differs from the functional oracle) or *survived* (bit-identical memory,
+e.g. timing-only faults) — never a silent hang or an unclassified crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.core import run_dac
+from repro.faults import (
+    CheckerError,
+    FAULT_CLASSES,
+    FaultPlan,
+    FaultSpec,
+    NULL_FAULTS,
+    RuntimeCheckers,
+)
+from repro.faults.campaign import OUTCOMES, run_campaign, run_case
+from repro.sim.functional import run_functional
+from repro.workloads.fuzz import build_fuzz_launch
+
+CFG = GPUConfig(num_sms=1, max_cycles=300_000)
+
+
+class TestPlan:
+    def test_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("rowhammer", 0)
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random(seed=5, count=4)
+        b = FaultPlan.random(seed=5, count=4)
+        assert a.specs == b.specs
+        assert FaultPlan.random(seed=6, count=4).specs != a.specs
+
+    def test_empty_plan_yields_the_null_injector(self):
+        assert FaultPlan((), seed=0).injector() is NULL_FAULTS
+        assert not NULL_FAULTS.enabled
+        assert NULL_FAULTS.fired() == 0
+
+    def test_single_builds_one_spec(self):
+        plan = FaultPlan.single("atq_drop", 2, magnitude=3)
+        assert plan.specs == (FaultSpec("atq_drop", 2, 3),)
+        assert plan.injector().enabled
+
+
+class TestNullFastPath:
+    def test_fault_free_run_bit_identical(self):
+        """Acceptance criterion: a null plan (and passive checkers) must
+        not perturb a run — same cycles, same stats, same memory."""
+        runs = []
+        for faults, checkers in ((None, None),
+                                 (FaultPlan((), 0).injector(), None),
+                                 (None, RuntimeCheckers())):
+            launch = build_fuzz_launch(11)
+            result = run_dac(launch, CFG, faults=faults, checkers=checkers)
+            runs.append((result.cycles, result.stats.as_dict(),
+                         launch.memory.words))
+        for cycles, stats, words in runs[1:]:
+            assert cycles == runs[0][0]
+            assert stats == runs[0][1]
+            assert np.array_equal(words, runs[0][2])
+
+
+class TestDetectOrSurvive:
+    @pytest.mark.parametrize("kind", FAULT_CLASSES)
+    def test_class_detected_or_survived(self, kind):
+        report = run_campaign(range(3), [kind])
+        assert report.ok, report.render()
+        for cell in report.outcomes:
+            assert cell.outcome in OUTCOMES
+        triggered = [c for c in report.outcomes
+                     if c.outcome != "not-triggered"]
+        assert triggered, f"{kind} never reached its fault site"
+
+
+class TestSafeMode:
+    def test_checker_fault_raises_without_safe_mode(self):
+        launch = build_fuzz_launch(0)
+        with pytest.raises(CheckerError):
+            run_dac(launch, CFG,
+                    faults=FaultPlan.single("atq_drop", 0).injector(),
+                    checkers=RuntimeCheckers())
+
+    def test_fallback_restores_memory_and_counts(self):
+        oracle = build_fuzz_launch(0)
+        run_functional(oracle)
+        launch = build_fuzz_launch(0)
+        result = run_dac(launch, CFG,
+                         faults=FaultPlan.single("atq_drop", 0).injector(),
+                         checkers=RuntimeCheckers(), safe_mode=True)
+        assert result.stats["dac.fallbacks"] == 1
+        assert result.extra["fallback_reason"].startswith("CheckerError")
+        assert np.array_equal(launch.memory.words, oracle.memory.words)
+
+    def test_run_case_classifies_fallback(self):
+        cell = run_case(0, "atq_drop", safe_mode=True)
+        assert cell.outcome == "fallback"
+        assert cell.ok
+
+
+def test_faults_land_on_the_trace_timeline(tmp_path):
+    """A traced faulted run marks each injection as a ``fault.<kind>``
+    instant event, and the Chrome export accepts it."""
+    from repro.trace import Tracer, write_chrome_trace
+
+    launch = build_fuzz_launch(0)
+    tracer = Tracer()
+    with pytest.raises(CheckerError):
+        run_dac(launch, CFG, tracer=tracer,
+                faults=FaultPlan.single("atq_drop", 0).injector(),
+                checkers=RuntimeCheckers())
+    marks = [e for e in tracer.events if e[0] == "fault"]
+    assert marks
+    assert marks[0][4] == "fault.atq_drop"
+    write_chrome_trace(tracer, tmp_path / "t.json")
+    assert "fault.atq_drop" in (tmp_path / "t.json").read_text()
+
+
+@pytest.mark.resilience
+def test_hundred_seed_fault_fuzz_never_silent():
+    """Acceptance criterion: zero silent hangs or unclassified crashes
+    across a 100-seed fault fuzz (fault class rotates per seed)."""
+    outcomes = []
+    for seed in range(100):
+        kind = FAULT_CLASSES[seed % len(FAULT_CLASSES)]
+        outcomes.append(run_case(seed, kind))
+    bad = [c for c in outcomes if not c.ok]
+    assert not bad, "\n".join(f"seed {c.seed} {c.kind}: {c.detail}"
+                              for c in bad)

@@ -1,0 +1,202 @@
+"""Hardened harness: per-cell timeouts, bounded retry, quarantine,
+checkpoint/resume, corrupt-cache quarantine, and failure classification.
+
+The fast tests use stand-in executors (no real processes); the tests
+marked ``resilience`` exercise real worker processes, including a
+genuinely hung worker that the grid must survive.
+"""
+
+import concurrent.futures
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.harness import (
+    GridCheckpoint,
+    GridReport,
+    clear_cache,
+    configure_cache,
+    experiment_config,
+)
+from repro.harness import parallel, runner
+from repro.harness.diskcache import DiskCache
+from repro.harness.parallel import default_jobs, run_grid
+
+CFG = experiment_config(num_sms=2)
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache():
+    clear_cache()
+    configure_cache(enabled=False)
+    yield
+    clear_cache()
+
+
+# ---------------------------------------------------------------------------
+# default_jobs / diskcache satellites
+
+
+def test_default_jobs_warns_on_invalid_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "three")
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert default_jobs() >= 1
+
+
+def test_diskcache_quarantines_corrupt_entry(tmp_path):
+    cache = DiskCache(tmp_path)
+    path = cache._path("deadbeef")
+    path.write_bytes(b"this is not a zlib pickle")
+    assert cache.load("deadbeef") is None          # reads as a miss
+    assert cache.corrupt == 1
+    assert not path.exists()                       # moved aside, not live
+    assert "deadbeef" not in cache
+    sidecars = list(tmp_path.glob(f"*{DiskCache.CORRUPT_SUFFIX}"))
+    assert len(sidecars) == 1                      # bytes kept for forensics
+    # A second load is a plain miss: no re-parse, no double count.
+    assert cache.load("deadbeef") is None
+    assert cache.corrupt == 1
+    # clear() sweeps quarantined entries but does not count them as live.
+    assert cache.clear() == 0
+    assert not list(tmp_path.glob(f"*{DiskCache.CORRUPT_SUFFIX}"))
+
+
+# ---------------------------------------------------------------------------
+# Stand-in executors (no real processes)
+
+
+class _DeadPool:
+    """Executor whose futures all die with BrokenProcessPool."""
+
+    def __init__(self, *a, **kw):
+        pass
+
+    def submit(self, fn, *args):
+        future = concurrent.futures.Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def shutdown(self, *a, **kw):
+        pass
+
+
+class _StuckPool:
+    """Executor whose futures never complete (a wedged worker)."""
+
+    def __init__(self, *a, **kw):
+        pass
+
+    def submit(self, fn, *args):
+        return concurrent.futures.Future()
+
+    def shutdown(self, *a, **kw):
+        pass
+
+
+TASKS = [("CP", "baseline", CFG), ("ST", "baseline", CFG)]
+
+
+def test_transient_failures_retry_then_fall_back_serially(monkeypatch,
+                                                          capsys):
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _DeadPool)
+    report = GridReport()
+    results = run_grid(TASKS, "tiny", jobs=2, backoff=0.0, report=report)
+    assert set(results) == set(TASKS)              # grid still completed
+    assert report.retries == len(TASKS)            # one retry wave each
+    assert "serially" in capsys.readouterr().err
+
+
+def test_timeouts_quarantine_and_resume(monkeypatch, tmp_path):
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _StuckPool)
+    report = GridReport()
+    results = run_grid(TASKS, "tiny", jobs=2, timeout=0.05, retries=1,
+                       backoff=0.0, checkpoint=tmp_path, report=report)
+    assert results == {}
+    assert report.timeouts == 2 * len(TASKS)       # initial try + 1 retry
+    assert sorted(t[0] for t in report.quarantined) == ["CP", "ST"]
+    assert all("timed out" in reason
+               for reason in report.failures.values())
+    # A re-run with the same checkpoint remembers the quarantine verdicts
+    # and never touches the (still broken) pool.
+    resumed = GridReport()
+    results2 = run_grid(TASKS, "tiny", jobs=2, timeout=0.05,
+                        checkpoint=tmp_path, report=resumed)
+    assert results2 == {}
+    assert resumed.timeouts == 0
+    assert len(resumed.quarantined) == len(TASKS)
+
+
+def test_checkpoint_resume_skips_finished_cells(monkeypatch, tmp_path):
+    report = GridReport()
+    results = run_grid(TASKS, "tiny", jobs=1, use_cache=False,
+                       checkpoint=tmp_path, report=report)
+    assert report.completed == len(TASKS)
+    clear_cache()
+
+    def boom(*a, **kw):
+        raise AssertionError("resume must not re-simulate finished cells")
+
+    monkeypatch.setattr(runner, "simulate_launch", boom)
+    resumed = GridReport()
+    results2 = run_grid(TASKS, "tiny", jobs=1, use_cache=False,
+                        checkpoint=tmp_path, report=resumed)
+    assert resumed.resumed == len(TASKS)
+    assert resumed.completed == 0
+    for task in TASKS:
+        assert results2[task].cycles == results[task].cycles
+        assert results2[task].stats.as_dict() == \
+            results[task].stats.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Real worker processes
+
+
+def _worker_boom(abbr, technique, scale, config, cache_dir):
+    raise ValueError("deterministic kernel bug")
+
+
+def _worker_hang_lib(abbr, technique, scale, config, cache_dir):
+    if abbr == "LIB":
+        time.sleep(30)
+    return _REAL_WORKER(abbr, technique, scale, config, cache_dir)
+
+
+_REAL_WORKER = parallel._worker
+
+
+@pytest.mark.resilience
+def test_deterministic_worker_exception_reraises(monkeypatch):
+    """An exception raised by the simulation itself must propagate — a
+    serial re-run of a deterministic failure only reproduces it slower."""
+    monkeypatch.setattr(parallel, "_worker", _worker_boom)
+    with pytest.raises(ValueError, match="deterministic kernel bug"):
+        run_grid(TASKS, "tiny", jobs=2)
+
+
+@pytest.mark.resilience
+def test_hung_worker_is_quarantined_and_grid_completes(monkeypatch,
+                                                       tmp_path):
+    """Acceptance criterion: with a genuinely hung worker in the pool,
+    the rest of the grid completes, the hung cell is quarantined, and a
+    resumed run picks up the finished cells from the checkpoint."""
+    monkeypatch.setattr(parallel, "_worker", _worker_hang_lib)
+    tasks = [("CP", "baseline", CFG), ("LIB", "baseline", CFG),
+             ("ST", "baseline", CFG)]
+    report = GridReport()
+    results = run_grid(tasks, "tiny", jobs=3, timeout=8.0, retries=0,
+                       backoff=0.0, checkpoint=tmp_path, report=report)
+    done = {t[0] for t in results}
+    assert done == {"CP", "ST"}
+    assert report.timeouts == 1
+    assert [t[0] for t in report.quarantined] == ["LIB"]
+
+    clear_cache()
+    resumed = GridReport()
+    results2 = run_grid(tasks, "tiny", jobs=3, timeout=8.0, retries=0,
+                        checkpoint=tmp_path, report=resumed)
+    assert {t[0] for t in results2} == {"CP", "ST"}
+    assert resumed.resumed == 2
+    assert resumed.timeouts == 0
+    assert [t[0] for t in resumed.quarantined] == ["LIB"]
