@@ -1,0 +1,25 @@
+"""Kernel lint subsystem: simulation-validated static diagnostics.
+
+Static passes over kernels and decoupled programs, reusing the compiler's
+CFG / dataflow / affine analyses, with stable ``RPL0xx`` diagnostic codes.
+Every diagnostic class is validated dynamically by the campaign in
+:mod:`repro.analysis.campaign`: seeded defects must both trip the lint and
+exhibit the predicted simulator behavior (hang, oracle divergence, or DAC
+safe-mode fallback), and a clean fuzz corpus must lint silently.
+
+Entry points: :func:`lint_kernel`, :func:`lint_launch`,
+:func:`lint_program`; CLI: ``python -m repro lint``.
+"""
+
+from .diagnostics import CODES, Diagnostic, LintReport, Severity
+from .linter import lint_kernel, lint_launch, lint_program
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_kernel",
+    "lint_launch",
+    "lint_program",
+]

@@ -1,0 +1,77 @@
+"""Backward liveness over the kernel CFG, at instruction granularity.
+
+The complement of :class:`~repro.compiler.dataflow.ReachingDefs`: a register
+is *live* after an instruction if some path to exit reads it before writing
+it.  Guarded writes (``@p mov x, ...``) do not kill — the old value survives
+in the threads where the guard is false — which keeps the dead-code pass
+from declaring partial definitions removable.
+
+``ignore`` marks instruction indices to treat as deleted, so the dead-code
+pass can iterate: once ``add r1, r0, 1`` is known dead, its use of ``r0`` no
+longer keeps ``r0``'s definition alive.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..isa import Kernel
+from ..compiler.cfg import CFG
+
+
+class Liveness:
+    """Live-register sets per instruction (names, not operand objects)."""
+
+    def __init__(self, kernel: Kernel, cfg: CFG,
+                 ignore: frozenset[int] | set[int] = frozenset()):
+        self.kernel = kernel
+        self.cfg = cfg
+        self.ignore = frozenset(ignore)
+        self._live_out: list[frozenset[str]] = \
+            [frozenset()] * len(kernel.instructions)
+        self._solve()
+
+    def _uses_defs(self, idx: int) -> tuple[set[str], set[str]]:
+        inst = self.kernel.instructions[idx]
+        if idx in self.ignore:
+            return set(), set()
+        uses = {op.name for op in inst.read_regs()}
+        # A guarded write merges with the old value: not a full kill.
+        defs = (set() if inst.guard is not None
+                else {op.name for op in inst.written_regs()})
+        return uses, defs
+
+    def _solve(self) -> None:
+        blocks = self.cfg.blocks
+        block_in: dict[int, frozenset[str]] = defaultdict(frozenset)
+        block_out: dict[int, frozenset[str]] = defaultdict(frozenset)
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out: set[str] = set()
+                for succ in block.successors:
+                    out |= block_in[succ]
+                live = set(out)
+                for idx in range(block.end - 1, block.start - 1, -1):
+                    uses, defs = self._uses_defs(idx)
+                    live -= defs
+                    live |= uses
+                new_in = frozenset(live)
+                new_out = frozenset(out)
+                if new_in != block_in[block.index] or \
+                        new_out != block_out[block.index]:
+                    block_in[block.index] = new_in
+                    block_out[block.index] = new_out
+                    changed = True
+        # Per-instruction live-out from the converged block sets.
+        for block in blocks:
+            live = set(block_out[block.index])
+            for idx in range(block.end - 1, block.start - 1, -1):
+                self._live_out[idx] = frozenset(live)
+                uses, defs = self._uses_defs(idx)
+                live -= defs
+                live |= uses
+
+    def live_out(self, inst_index: int) -> frozenset[str]:
+        return self._live_out[inst_index]

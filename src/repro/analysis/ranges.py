@@ -1,0 +1,299 @@
+"""Linear-expression abstract domain for race and bounds analysis.
+
+Where :class:`~repro.compiler.affine_analysis.AffineAnalysis` only tracks a
+three-point lattice (scalar / affine / non-affine), the race and bounds
+passes need the actual linear form of an address:
+
+    addr = c + sum(coeff_s * s)   over symbols s
+
+Symbols are kernel parameters (``param:A``), thread-geometry registers
+(``%tid.x``, ``%ctaid.x``, ...), and nothing else.  Any value the transfer
+functions cannot keep linear (loads, products of two non-constants,
+divergent merges) collapses to :data:`TOP`.
+
+The fixpoint mirrors ``AffineAnalysis._classify``: every definition starts
+at the bottom (``None`` = not yet computed), transfer functions recompute
+from reaching definitions, and joins of unequal expressions go to TOP, so
+loop-varying values degrade gracefully instead of iterating forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import (
+    Immediate,
+    Instruction,
+    Kernel,
+    MemRef,
+    Opcode,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+)
+from ..compiler.dataflow import ReachingDefs
+
+
+class _Top:
+    """Unknown / nonlinear value."""
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+TOP = _Top()
+
+
+@dataclass(frozen=True)
+class Linear:
+    """``const + sum(coeff * symbol)`` with a canonical term tuple."""
+
+    const: float
+    terms: tuple[tuple[str, float], ...] = ()
+
+    @staticmethod
+    def constant(value: float) -> "Linear":
+        return Linear(float(value))
+
+    @staticmethod
+    def symbol(name: str, coeff: float = 1.0) -> "Linear":
+        return Linear(0.0, ((name, float(coeff)),))
+
+    def coeff(self, name: str) -> float:
+        for sym, c in self.terms:
+            if sym == name:
+                return c
+        return 0.0
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def add(self, other: "Linear") -> "Linear":
+        coeffs = dict(self.terms)
+        for sym, c in other.terms:
+            coeffs[sym] = coeffs.get(sym, 0.0) + c
+        terms = tuple(sorted((s, c) for s, c in coeffs.items() if c != 0.0))
+        return Linear(self.const + other.const, terms)
+
+    def scale(self, factor: float) -> "Linear":
+        if factor == 0.0:
+            return Linear.constant(0.0)
+        return Linear(self.const * factor,
+                      tuple((s, c * factor) for s, c in self.terms))
+
+    def negate(self) -> "Linear":
+        return self.scale(-1.0)
+
+    def shift(self, delta: float) -> "Linear":
+        return Linear(self.const + delta, self.terms)
+
+    def substitute(self, bindings: dict[str, float]) -> "Linear":
+        """Replace known symbols (e.g. ``%ntid.x`` with the block size)."""
+        const = self.const
+        keep: dict[str, float] = {}
+        for sym, c in self.terms:
+            if sym in bindings:
+                const += c * bindings[sym]
+            else:
+                keep[sym] = keep.get(sym, 0.0) + c
+        return Linear(const, tuple(sorted(keep.items())))
+
+    def interval(self, spans: dict[str, tuple[float, float]]
+                 ) -> tuple[float, float] | None:
+        """Min/max over symbol ranges; ``None`` if a symbol is unbounded."""
+        lo = hi = self.const
+        for sym, c in self.terms:
+            if sym not in spans:
+                return None
+            s_lo, s_hi = spans[sym]
+            lo += c * (s_lo if c >= 0 else s_hi)
+            hi += c * (s_hi if c >= 0 else s_lo)
+        return lo, hi
+
+    def __str__(self) -> str:
+        parts = [f"{c:g}*{s}" for s, c in self.terms]
+        if self.const or not parts:
+            parts.append(f"{self.const:g}")
+        return " + ".join(parts)
+
+
+LinValue = Linear | _Top
+
+
+def special_symbol(op: SpecialReg) -> str:
+    return f"%{op.family}.{op.dim}"
+
+
+def param_symbol(op: Param) -> str:
+    return f"param:{op.name}"
+
+
+def _leaf_value(op) -> LinValue | None:
+    """Linear value of a non-register operand; None for registers."""
+    if isinstance(op, Immediate):
+        return Linear.constant(op.value)
+    if isinstance(op, Param):
+        return Linear.symbol(param_symbol(op))
+    if isinstance(op, SpecialReg):
+        return Linear.symbol(special_symbol(op))
+    if isinstance(op, (Register, PredReg)):
+        return None
+    return TOP    # MemRef / DeqToken
+
+
+def _join(a: LinValue | None, b: LinValue | None) -> LinValue:
+    if a is None:
+        return b if b is not None else TOP
+    if b is None:
+        return a
+    if isinstance(a, Linear) and isinstance(b, Linear) and a == b:
+        return a
+    return TOP
+
+
+class LinearValues:
+    """Per-definition linear values for one kernel (fixpoint).
+
+    ``bindings`` substitutes launch-constant symbols (``%ntid.x`` etc.) at
+    the leaves, which is what lets ``mul r0, %ctaid.x, %ntid.x`` stay linear
+    — without it a product of two symbols collapses to TOP.
+    """
+
+    def __init__(self, kernel: Kernel, reaching: ReachingDefs,
+                 bindings: dict[str, float] | None = None):
+        self.kernel = kernel
+        self.reaching = reaching
+        self.bindings = dict(bindings or {})
+        #: def index -> Linear | TOP (only indices that write a register)
+        self.def_value: dict[int, LinValue] = {}
+        self._solve()
+
+    # ---- value of an operand at a use site ---------------------------
+
+    def use_value(self, inst_index: int, op) -> LinValue:
+        leaf = _leaf_value(op)
+        if isinstance(leaf, Linear):
+            return leaf.substitute(self.bindings)
+        if leaf is not None:
+            return leaf
+        if isinstance(op, PredReg):
+            return TOP        # predicates carry bits, not addresses
+        defs = self.reaching.reaching(inst_index, op.name)
+        if not defs:
+            return Linear.constant(0.0)    # read-before-write reads zero
+        value: LinValue | None = None
+        for d in sorted(defs):
+            value = _join(value, self.def_value.get(d))
+        return value if value is not None else TOP
+
+    def address_value(self, inst_index: int) -> LinValue:
+        """Linear form of a memory instruction's byte address."""
+        ref = self.kernel.instructions[inst_index].mem_ref()
+        if ref is None or not isinstance(ref, MemRef):
+            return TOP
+        base = self.use_value(inst_index, ref.address)
+        if isinstance(base, Linear):
+            return base.shift(float(ref.displacement))
+        return TOP
+
+    # ---- transfer functions ------------------------------------------
+
+    def _transfer(self, idx: int, inst: Instruction) -> LinValue:
+        op = inst.opcode
+        vals = [self.use_value(idx, src) for src in inst.srcs]
+        if any(v is TOP for v in vals):
+            return TOP
+        lin = [v for v in vals if isinstance(v, Linear)]
+        if op is Opcode.MOV:
+            return lin[0]
+        if op is Opcode.ADD:
+            return lin[0].add(lin[1])
+        if op is Opcode.SUB:
+            return lin[0].add(lin[1].negate())
+        if op is Opcode.NEG:
+            return lin[0].negate()
+        if op is Opcode.MUL:
+            if lin[1].is_constant:
+                return lin[0].scale(lin[1].const)
+            if lin[0].is_constant:
+                return lin[1].scale(lin[0].const)
+            return TOP
+        if op is Opcode.MAD:                 # d = a*b + c
+            a, b, c = lin
+            if b.is_constant:
+                return a.scale(b.const).add(c)
+            if a.is_constant:
+                return b.scale(a.const).add(c)
+            return TOP
+        if op is Opcode.SHL:
+            if lin[1].is_constant:
+                return lin[0].scale(float(2 ** int(lin[1].const)))
+            return TOP
+        return TOP
+
+    def _solve(self) -> None:
+        insts = self.kernel.instructions
+        changed = True
+        while changed:
+            changed = False
+            for idx, inst in enumerate(insts):
+                if not inst.written_regs():
+                    continue
+                new = self._transfer(idx, inst)
+                if isinstance(inst.guard, PredReg):
+                    # Guarded write merges with prior definitions.
+                    for dst in inst.written_regs():
+                        for d in self.reaching.reaching(idx, dst.name):
+                            new = _join(new, self.def_value.get(d))
+                if new is not TOP and self.def_value.get(idx) is TOP:
+                    continue    # monotone: never leave TOP
+                if self.def_value.get(idx) != new:
+                    self.def_value[idx] = new
+                    changed = True
+
+
+def thread_spans(grid_dim: tuple[int, int, int],
+                 block_dim: tuple[int, int, int]
+                 ) -> dict[str, tuple[float, float]]:
+    """Symbol ranges for one launch geometry (inclusive bounds)."""
+    spans: dict[str, tuple[float, float]] = {}
+    for axis, (g, b) in zip("xyz", zip(grid_dim, block_dim)):
+        spans[f"%tid.{axis}"] = (0.0, float(b - 1))
+        spans[f"%ctaid.{axis}"] = (0.0, float(g - 1))
+        spans[f"%ntid.{axis}"] = (float(b), float(b))
+        spans[f"%nctaid.{axis}"] = (float(g), float(g))
+    return spans
+
+
+def geometry_bindings(grid_dim: tuple[int, int, int],
+                      block_dim: tuple[int, int, int]) -> dict[str, float]:
+    """Constant symbols of a launch: ``%ntid.*`` and ``%nctaid.*``."""
+    out: dict[str, float] = {}
+    for axis, (g, b) in zip("xyz", zip(grid_dim, block_dim)):
+        out[f"%ntid.{axis}"] = float(b)
+        out[f"%nctaid.{axis}"] = float(g)
+    return out
+
+
+def global_thread_form(value: Linear, block_dim_x: int
+                       ) -> tuple[float, Linear] | None:
+    """Rewrite ``value`` as ``stride * gtid_x + rest`` when possible.
+
+    Requires the ``%ctaid.x`` coefficient to equal ``ntid.x`` times the
+    ``%tid.x`` coefficient (the canonical ``ctaid*ntid + tid`` flattening)
+    and no other thread-varying symbols.  ``rest`` contains only parameters
+    and a constant.  Returns ``None`` when the value does not fit the form.
+    """
+    stride = value.coeff("%tid.x")
+    if value.coeff("%ctaid.x") != stride * block_dim_x:
+        return None
+    rest_terms = []
+    for sym, c in value.terms:
+        if sym in ("%tid.x", "%ctaid.x"):
+            continue
+        if sym.startswith("%"):
+            return None      # y/z or geometry symbol left over
+        rest_terms.append((sym, c))
+    return stride, Linear(value.const, tuple(sorted(rest_terms)))

@@ -1,0 +1,111 @@
+"""CTA-level uniformity analysis.
+
+A value is *uniform* when every thread of a CTA is guaranteed to compute the
+same value for it.  This is the property barrier safety actually needs: a
+branch guarded by a uniform predicate cannot split a CTA around a
+``bar.sync``.  It is strictly coarser than the affine lattice's SCALAR
+class: ``%ctaid.x`` is uniform (all threads of a CTA share it), and — under
+the no-data-race assumption the rest of the lint enforces — so is a load
+from a uniform address.
+
+Like the other fixpoints here, definitions start optimistic (uniform) and
+are demoted monotonically.
+"""
+
+from __future__ import annotations
+
+from ..isa import (
+    DeqToken,
+    Immediate,
+    Kernel,
+    MemRef,
+    Param,
+    SpecialReg,
+)
+from ..compiler.affine_analysis import AffineAnalysis
+
+
+class Uniformity:
+    """Per-definition CTA-uniformity for one kernel."""
+
+    def __init__(self, kernel: Kernel, analysis: AffineAnalysis):
+        self.kernel = kernel
+        self.analysis = analysis
+        self.reaching = analysis.reaching
+        #: def index -> bool (True = provably uniform across the CTA)
+        self.def_uniform: dict[int, bool] = {}
+        self._solve()
+
+    def _leaf_uniform(self, op) -> bool | None:
+        if isinstance(op, (Immediate, Param)):
+            return True
+        if isinstance(op, SpecialReg):
+            # tid varies per thread; ntid/nctaid are launch constants and
+            # ctaid is shared by the whole CTA (barriers are per-CTA).
+            return op.family != "tid"
+        if isinstance(op, DeqToken):
+            return False
+        if isinstance(op, MemRef):
+            return None     # handled via the address operand
+        return None         # Register / PredReg: from reaching defs
+
+    def use_uniform(self, inst_index: int, op) -> bool:
+        if isinstance(op, MemRef):
+            return self.use_uniform(inst_index, op.address)
+        leaf = self._leaf_uniform(op)
+        if leaf is not None:
+            return leaf
+        defs = self.reaching.reaching(inst_index, op.name)
+        if not defs:
+            return True      # read-before-write: every thread reads zero
+        return all(self.def_uniform.get(d, True) for d in defs)
+
+    def _transfer(self, idx: int) -> bool:
+        inst = self.kernel.instructions[idx]
+        if any(isinstance(op, DeqToken) for op in inst.srcs + inst.dsts):
+            return False
+        if inst.is_load:
+            # Uniform address => uniform value, assuming no data race on
+            # the location (checked independently by the race pass).
+            ref = inst.mem_ref()
+            return ref is not None and self.use_uniform(idx, ref.address)
+        if not all(self.use_uniform(idx, op) for op in inst.srcs):
+            return False
+        if inst.guard is not None:
+            # A non-uniform guard makes the merge thread-dependent.
+            if not self.use_uniform(idx, inst.guard):
+                return False
+            for dst in inst.written_regs():
+                for d in self.reaching.reaching(idx, dst.name):
+                    if not self.def_uniform.get(d, True):
+                        return False
+        # Execution under a divergent branch can also break uniformity:
+        # only some threads update the register.
+        for branch in self.analysis.control_deps.get(idx, ()):  # noqa: B007
+            if not self.use_uniform(
+                    branch, self.kernel.instructions[branch].guard):
+                return False
+        return True
+
+    def _solve(self) -> None:
+        insts = self.kernel.instructions
+        for idx, inst in enumerate(insts):
+            if inst.written_regs():
+                self.def_uniform[idx] = True
+        changed = True
+        while changed:
+            changed = False
+            for idx in self.def_uniform:
+                if not self.def_uniform[idx]:
+                    continue       # monotone: never promoted back
+                if not self._transfer(idx):
+                    self.def_uniform[idx] = False
+                    changed = True
+
+    # ---- queries ------------------------------------------------------
+
+    def branch_uniform(self, branch_index: int) -> bool:
+        inst = self.kernel.instructions[branch_index]
+        if inst.guard is None:
+            return True
+        return self.use_uniform(branch_index, inst.guard)

@@ -14,7 +14,10 @@ Commands:
 * ``figures [NAME]`` — regenerate evaluation figures (fig6, fig16, fig17,
   fig18, fig19, fig20, fig21, or ``all``);
 * ``faults`` — seeded fault-injection campaign: every injected fault must
-  be detected (checker / hang / oracle) or survived, never silent.
+  be detected (checker / hang / oracle) or survived, never silent;
+* ``lint`` — static diagnostics (``RPL0xx``) over benchmarks or an
+  assembly file; ``--campaign`` differentially validates every diagnostic
+  class against the simulator.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from .harness import (
     run_suite,
 )
 from .harness.parallel import run_grid
-from .isa import parse_kernel
+from .isa import Kernel, parse_kernel
 from .trace import (
     Tracer,
     stall_report,
@@ -312,6 +315,65 @@ def _cmd_faults(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    import json as json_mod
+
+    from .analysis import lint_kernel, lint_launch
+    from .workloads import BY_ABBR, get
+
+    if args.campaign:
+        from .analysis.campaign import run_campaign as run_lint_campaign
+        report = run_lint_campaign(
+            seeds=_parse_seeds(args.seeds),
+            clean_seeds=_parse_seeds(args.clean_seeds))
+        if args.json:
+            print(json_mod.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
+    targets: list[tuple[str, object]] = []
+    if args.file:
+        with open(args.file) as handle:
+            kernel = parse_kernel(handle.read())
+        targets.append((kernel.name, kernel))
+    else:
+        names = [a.upper() for a in args.benchmarks] or sorted(BY_ABBR)
+        unknown = [n for n in names if n not in BY_ABBR]
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        for name in names:
+            targets.append((name, get(name).launch(args.scale)))
+
+    failed = False
+    results = {}
+    for name, target in targets:
+        if isinstance(target, Kernel):
+            report = lint_kernel(target)
+        else:
+            report = lint_launch(target)
+        results[name] = report
+        if not report.ok(strict=args.strict):
+            failed = True
+        if not args.json:
+            status = "clean" if not report.diagnostics else \
+                f"{len(report.errors)} error(s), " \
+                f"{len(report.warnings)} warning(s)"
+            print(f"== {name}: {status}")
+            for diag in report.diagnostics:
+                print(f"  {diag.render()}")
+    if args.json:
+        print(json_mod.dumps(
+            {name: rep.to_dict() for name, rep in results.items()},
+            indent=2))
+    elif not failed:
+        print(f"lint: {len(targets)} target(s) clean"
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,6 +465,29 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verbose", action="store_true",
                         help="print each cell's outcome as it lands")
     faults.set_defaults(func=_cmd_faults)
+
+    lint = sub.add_parser(
+        "lint", help="static diagnostics for kernels (RPL0xx codes)")
+    lint.add_argument("benchmarks", nargs="*", metavar="ABBR",
+                      help="benchmarks to lint (default: all 29)")
+    lint.add_argument("--file", default=None,
+                      help="lint an assembly file instead of a benchmark "
+                           "(kernel-only passes; no launch geometry)")
+    lint.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the run")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    lint.add_argument("--campaign", action="store_true",
+                      help="differential validation: seeded defects must "
+                           "trip their code AND misbehave as predicted")
+    lint.add_argument("--seeds", default="0:2", metavar="LO:HI|A,B,C",
+                      help="defect seeds for --campaign (default 0:2)")
+    lint.add_argument("--clean-seeds", default="0:10",
+                      metavar="LO:HI|A,B,C",
+                      help="clean-corpus seeds for --campaign "
+                           "(default 0:10)")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

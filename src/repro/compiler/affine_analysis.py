@@ -15,7 +15,7 @@ from collections import defaultdict
 import networkx as nx
 
 from ..affine import OperandClass, join, leaf_class, result_class
-from ..isa import Instruction, Kernel, Opcode, PredReg, Register
+from ..isa import Kernel, PredReg
 from .cfg import CFG
 from .dataflow import ReachingDefs
 

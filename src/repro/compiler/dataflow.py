@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from ..isa import Kernel, PredReg, Register
+from ..isa import Kernel, PredReg
 from .cfg import CFG
 
 

@@ -27,7 +27,6 @@ from ..isa import (
     DeqToken,
     Instruction,
     Kernel,
-    MemRef,
     MemSpace,
     Opcode,
     PredReg,
@@ -226,7 +225,6 @@ class Decoupler:
 
         # Affine stream slice: every def feeding a candidate or an included
         # branch.
-        roots = set(candidates)
         slice_union: set[int] = set()
         for idx in candidates:
             slice_union |= self.reaching.backward_slice(
@@ -280,7 +278,8 @@ class Decoupler:
                     out.append((idx, Instruction(
                         Opcode.ENQ_PRED, srcs=(inst.dsts[0],),
                         guard=inst.guard, guard_negated=inst.guard_negated,
-                        queue_id=queue_ids[idx])))
+                        queue_id=queue_ids[idx],
+                        source_line=inst.source_line)))
                 else:
                     ref = inst.mem_ref()
                     src = (ref if ref.displacement else ref.address)
@@ -289,7 +288,8 @@ class Decoupler:
                     out.append((idx, Instruction(
                         opcode, srcs=(src,), guard=inst.guard,
                         guard_negated=inst.guard_negated, space=inst.space,
-                        queue_id=queue_ids[idx])))
+                        queue_id=queue_ids[idx],
+                        source_line=inst.source_line)))
                 continue
             if inst.is_branch:
                 excluded = {b for b in range(len(insts))
@@ -323,7 +323,8 @@ class Decoupler:
                 replaced[idx] = Instruction(
                     Opcode.MOV, dsts=(inst.dsts[0],),
                     srcs=(DeqToken("pred", qid),), guard=inst.guard,
-                    guard_negated=inst.guard_negated)
+                    guard_negated=inst.guard_negated,
+                    source_line=inst.source_line)
 
         # Essential: control flow, memory, barriers, exits, every deq.
         essential: set[int] = set()

@@ -64,6 +64,13 @@ def _guard_signature(inst: Instruction):
     return None
 
 
+def _loc(kernel: Kernel, index: int) -> str:
+    """``name[index] (line N)`` — where an offending instruction lives."""
+    inst = kernel.instructions[index]
+    line = "" if inst.source_line is None else f" (line {inst.source_line})"
+    return f"{kernel.name}[{index}]{line}"
+
+
 def verify(program: DecoupledProgram) -> VerificationReport:
     """Run every check; returns a report (never raises)."""
     report = VerificationReport()
@@ -71,25 +78,29 @@ def verify(program: DecoupledProgram) -> VerificationReport:
         return report
 
     enqs: dict[int, Instruction] = {}
-    for inst in program.affine.instructions:
+    for idx, inst in enumerate(program.affine.instructions):
         if inst.is_enq:
             if inst.queue_id in enqs:
                 report.errors.append(
-                    f"duplicate enqueue for queue {inst.queue_id}")
+                    f"duplicate enqueue for queue {inst.queue_id} at "
+                    f"{_loc(program.affine, idx)}")
             enqs[inst.queue_id] = inst
         if inst.is_memory:
             report.errors.append(
-                f"affine stream contains a memory access: {inst}")
+                f"affine stream contains a memory access at "
+                f"{_loc(program.affine, idx)}: {inst}")
 
     deqs: dict[int, Instruction] = {}
-    for inst in program.nonaffine.instructions:
+    for idx, inst in enumerate(program.nonaffine.instructions):
         if inst.is_enq:
             report.errors.append(
-                f"non-affine stream contains an enqueue: {inst}")
+                f"non-affine stream contains an enqueue at "
+                f"{_loc(program.nonaffine, idx)}: {inst}")
         for token in _deq_tokens(inst):
             if token.queue_id in deqs:
                 report.errors.append(
-                    f"duplicate dequeue for queue {token.queue_id}")
+                    f"duplicate dequeue for queue {token.queue_id} at "
+                    f"{_loc(program.nonaffine, idx)}")
             deqs[token.queue_id] = inst
 
     # Pairing.
@@ -102,18 +113,26 @@ def verify(program: DecoupledProgram) -> VerificationReport:
 
     kind_of_enq = {Opcode.ENQ_DATA: "data", Opcode.ENQ_ADDR: "addr",
                    Opcode.ENQ_PRED: "pred"}
+    enq_index = {inst.uid: i
+                 for i, inst in enumerate(program.affine.instructions)}
+    deq_index = {inst.uid: i
+                 for i, inst in enumerate(program.nonaffine.instructions)}
     for qid, enq in enqs.items():
         deq = deqs[qid]
+        where = (f"enq at {_loc(program.affine, enq_index[enq.uid])}, "
+                 f"deq at {_loc(program.nonaffine, deq_index[deq.uid])}")
         enq_kind = kind_of_enq[enq.opcode]
         deq_kind = next(_deq_tokens(deq)).kind
         if enq_kind != deq_kind:
             report.errors.append(
-                f"queue {qid}: enq kind {enq_kind} vs deq kind {deq_kind}")
+                f"queue {qid}: enq kind {enq_kind} vs deq kind {deq_kind} "
+                f"({where})")
         if enq_kind != "pred" and \
                 _guard_signature(enq) != _guard_signature(deq):
             report.errors.append(
                 f"queue {qid}: guard mismatch "
-                f"({_guard_signature(enq)} vs {_guard_signature(deq)})")
+                f"({_guard_signature(enq)} vs {_guard_signature(deq)}; "
+                f"{where})")
 
     # Ordering: queue ids ascend with original program order, so checking
     # ascending qid order per block per class suffices.
@@ -122,13 +141,14 @@ def verify(program: DecoupledProgram) -> VerificationReport:
         cfg = CFG(kernel)
         for block in cfg.blocks:
             last: dict[str, int] = {}
-            for inst in block.instructions(kernel):
+            for offset, inst in enumerate(block.instructions(kernel)):
                 for cls, qid in ids_of(inst):
                     origin = program.queue_origin.get(qid, -1)
                     if cls in last and origin < last[cls]:
                         report.errors.append(
                             f"{label}: queue ops out of original order in "
-                            f"block {block.index} (queue {qid})")
+                            f"block {block.index} (queue {qid}) at "
+                            f"{_loc(kernel, block.start + offset)}")
                     last[cls] = origin
 
     def affine_ids(inst):

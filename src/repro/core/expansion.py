@@ -15,7 +15,7 @@ import numpy as np
 
 from ..affine import AffinePredicate, DivergentSet
 from ..memory.coalescer import coalesce, word_mask
-from .affine_warp import AffineCTAExec, ConcreteExpr, ConcretePredicate
+from .affine_warp import AffineCTAExec, ConcreteExpr
 from .queues import ATQ, AddressRecord, BarrierMarker, PredRecord, TupleEntry
 
 

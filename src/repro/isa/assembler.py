@@ -122,8 +122,13 @@ def _split_operands(text: str) -> list[str]:
     return [p.strip() for p in parts if p.strip()]
 
 
-def parse_instruction(text: str) -> Instruction:
-    """Parse one instruction (without trailing semicolon)."""
+def parse_instruction(text: str,
+                      source_line: int | None = None) -> Instruction:
+    """Parse one instruction (without trailing semicolon).
+
+    ``source_line`` is recorded on the instruction so later diagnostics
+    (verifier errors, lint findings) can point back at the source text.
+    """
     text = text.strip().rstrip(";").strip()
     guard: PredReg | DeqToken | None = None
     guard_negated = False
@@ -195,7 +200,7 @@ def parse_instruction(text: str) -> Instruction:
 
     return Instruction(opcode=opcode, dsts=dsts, srcs=srcs, guard=guard,
                        guard_negated=guard_negated, cmp=cmp, space=space,
-                       target=target, dtype=dtype)
+                       target=target, dtype=dtype, source_line=source_line)
 
 
 def parse_kernel(text: str, name: str = "kernel",
@@ -224,7 +229,8 @@ def parse_kernel(text: str, name: str = "kernel",
             labels[lbl] = len(instructions)
             continue
         try:
-            instructions.append(parse_instruction(line))
+            instructions.append(parse_instruction(line,
+                                                  source_line=line_no))
         except ValueError as exc:
             raise AsmError(str(exc), line_no, raw) from exc
 

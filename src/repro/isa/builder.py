@@ -19,7 +19,7 @@ same label/branch form the assembler produces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .instructions import CmpOp, Instruction, MemSpace, Opcode
 from .kernel import Kernel
@@ -81,6 +81,10 @@ class KernelBuilder:
     # ---- emission ---------------------------------------------------------
 
     def emit(self, inst: Instruction) -> None:
+        if inst.source_line is None:
+            # Builder kernels have no text source; the 1-based emission
+            # index stands in so diagnostics still carry a location.
+            inst.source_line = len(self._instructions) + 1
         self._instructions.append(inst)
 
     def label(self, name: str) -> str:

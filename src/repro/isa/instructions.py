@@ -8,13 +8,10 @@ from dataclasses import dataclass, field, replace
 
 from .operands import (
     DeqToken,
-    Immediate,
     MemRef,
     Operand,
-    Param,
     PredReg,
     Register,
-    SpecialReg,
 )
 
 
@@ -139,6 +136,7 @@ class Instruction:
     target: str | None = None          # branch target label
     dtype: str = "s32"                 # cosmetic type suffix
     queue_id: int | None = None        # enq: matching deq queue (DAC)
+    source_line: int | None = None     # 1-based line in the assembly source
     uid: int = field(default_factory=lambda: next(_id_counter))
 
     # ---- classification helpers -------------------------------------
@@ -237,6 +235,10 @@ class Instruction:
         if operand_strs:
             return f"{head} {', '.join(operand_strs)};"
         return f"{head};"
+
+    def __repr__(self) -> str:
+        loc = "" if self.source_line is None else f", line={self.source_line}"
+        return f"Instruction({str(self)!r}{loc})"
 
     def clone(self, **changes) -> "Instruction":
         """Copy with a fresh uid (and optional field overrides)."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .instructions import Instruction, Opcode, validate
+from .instructions import Instruction, validate
 from .operands import Param, Register
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..compiler.cfg import CFG
-from ..isa import Instruction, Kernel, MemSpace
+from ..isa import Instruction, Kernel
 from .launch import CTAState, KernelLaunch
 from .warp import WarpContext
 

@@ -18,6 +18,9 @@ class GlobalMemory:
             raise ValueError("memory size must be a multiple of 4 bytes")
         self.words = np.zeros(size_bytes // WORD, dtype=np.float64)
         self._next_free = 128           # keep address 0 unused
+        #: byte address -> requested byte length, for every allocation.
+        #: The lint bounds pass checks indexing against these extents.
+        self.allocations: dict[int, int] = {}
 
     @property
     def size_bytes(self) -> int:
@@ -29,7 +32,12 @@ class GlobalMemory:
         self._next_free += ((num_words * WORD + 127) // 128) * 128
         if self._next_free > self.size_bytes:
             raise MemoryError("device memory exhausted")
+        self.allocations[addr] = num_words * WORD
         return addr
+
+    def extent_at(self, byte_addr: int) -> int | None:
+        """Byte length of the allocation starting at ``byte_addr``, if any."""
+        return self.allocations.get(int(byte_addr))
 
     def alloc_array(self, values) -> int:
         data = np.asarray(values, dtype=np.float64)

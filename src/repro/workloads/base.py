@@ -10,13 +10,13 @@ compared on identical memory images.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..isa import Kernel, parse_kernel
-from ..sim.launch import GlobalMemory, KernelLaunch
+from ..sim.launch import KernelLaunch
 
 #: Grid-size presets.  ``tiny`` keeps unit/integration tests fast; ``paper``
 #: is what the experiment harness and benches run.

@@ -11,8 +11,6 @@ instructions compute on scalars and thread IDs).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..sim.launch import GlobalMemory, KernelLaunch
 from .base import Benchmark, TID_X, TID_XY, kernel, pick, rng_for
 

@@ -1,12 +1,10 @@
 """Unit tests for the affine warp executor (AffineCTAExec) in isolation."""
 
 import numpy as np
-import pytest
 
-from repro.affine import AffinePredicate, AffineTuple, DivergentSet
+from repro.affine import AffinePredicate, DivergentSet
 from repro.compiler.cfg import CFG
-from repro.core.affine_warp import AffineCTAExec, ConcreteExpr, \
-    ConcretePredicate
+from repro.core.affine_warp import AffineCTAExec, ConcreteExpr
 from repro.core.queues import ATQ, BarrierMarker, TupleEntry
 from repro.isa import parse_kernel
 from repro.sim import GPUConfig, GlobalMemory, KernelLaunch

@@ -1,7 +1,6 @@
 """Tests for the CAE and MTA baseline techniques."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.cae import _value_stride
 from repro.baselines.mta import PrefetchBuffer

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.compiler import decouple, verify
-from repro.isa import CmpOp, MemSpace, Opcode
+from repro.isa import CmpOp, MemSpace
 from repro.isa.builder import KernelBuilder
 from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, run_functional, \
     simulate

@@ -1,15 +1,13 @@
 """Tests for the compiler: CFG, reaching definitions, affine analysis, and
 the decoupling transform (paper §4.7)."""
 
-import numpy as np
-import pytest
 
 from repro.affine import OperandClass
 from repro.compiler.affine_analysis import AffineAnalysis
 from repro.compiler.cfg import CFG
 from repro.compiler.dataflow import ReachingDefs
 from repro.compiler.decouple import decouple
-from repro.isa import DeqToken, Opcode, Register, parse_kernel
+from repro.isa import DeqToken, Opcode, parse_kernel
 
 #: The paper's running example (Fig. 4b).
 PAPER_KERNEL = parse_kernel("""

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import DACConfig, GPUConfig
+from repro.config import GPUConfig
 from repro.events import EventQueue
 from repro.stats import Stats
 

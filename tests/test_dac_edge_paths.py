@@ -4,11 +4,10 @@ refetch after early eviction, queue back-pressure under long run-ahead."""
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.core import run_dac
 from repro.isa import parse_kernel
-from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, simulate
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch
 
 CFG = GPUConfig(num_sms=1)
 

@@ -4,17 +4,11 @@ the affine warp executor, and the two-level affine SIMT stack."""
 import numpy as np
 import pytest
 
-from repro.affine import AffinePredicate, AffineTuple, scalar
+from repro.affine import scalar
 from repro.core import run_dac
-from repro.core.queues import (
-    ATQ,
-    AddressRecord,
-    BarrierMarker,
-    PerWarpQueue,
-    TupleEntry,
-)
-from repro.isa import CmpOp, parse_kernel
-from repro.sim import GPU, GPUConfig, GlobalMemory, KernelLaunch, simulate
+from repro.core.queues import ATQ, BarrierMarker, PerWarpQueue, TupleEntry
+from repro.isa import parse_kernel
+from repro.sim import GPUConfig, GlobalMemory, KernelLaunch
 
 CFG = GPUConfig(num_sms=1)
 

@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import run_dac
-from repro.energy import (
-    AreaReport,
-    EnergyBreakdown,
-    area_report,
-    dac_sram_bytes,
-    energy_of,
-)
+from repro.energy import area_report, dac_sram_bytes, energy_of
 from repro.isa import parse_kernel
 from repro.sim import GPUConfig, GlobalMemory, KernelLaunch, simulate
 

@@ -12,13 +12,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
-from repro.harness import (
-    GridCheckpoint,
-    GridReport,
-    clear_cache,
-    configure_cache,
-    experiment_config,
-)
+from repro.harness import GridReport, clear_cache, configure_cache, experiment_config
 from repro.harness import parallel, runner
 from repro.harness.diskcache import DiskCache
 from repro.harness.parallel import default_jobs, run_grid

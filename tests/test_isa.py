@@ -2,26 +2,7 @@
 
 import pytest
 
-from repro.isa import (
-    AsmError,
-    CmpOp,
-    DeqToken,
-    Immediate,
-    Instruction,
-    Kernel,
-    MemRef,
-    MemSpace,
-    Opcode,
-    Param,
-    PredReg,
-    Register,
-    SpecialReg,
-    is_readonly,
-    parse_instruction,
-    parse_kernel,
-    parse_operand,
-    validate,
-)
+from repro.isa import AsmError, CmpOp, DeqToken, Immediate, MemRef, MemSpace, Opcode, Param, PredReg, Register, SpecialReg, is_readonly, parse_instruction, parse_kernel, parse_operand, validate
 
 
 class TestOperands:

@@ -1,0 +1,88 @@
+"""Positive-path tests for the kernel lint subsystem.
+
+The whole workload suite must lint without errors (the CI gate relies on
+this), reports must be deterministic and JSON-serializable, and linting
+must never mutate the kernel or launch it inspects.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CODES, LintReport, Severity, lint_kernel, lint_launch
+from repro.analysis.diagnostics import make_diagnostic
+from repro.analysis.fixtures import FIXTURE_CONFIG, clean_bundle
+from repro.workloads import BY_ABBR
+
+
+def test_code_registry_well_formed():
+    assert len(CODES) >= 12
+    for code, (severity, title) in CODES.items():
+        assert code.startswith("RPL") and len(code) == 6
+        assert severity in (Severity.WARNING, Severity.ERROR)
+        assert title
+
+
+def test_all_workloads_lint_without_errors():
+    for abbr, bench in sorted(BY_ABBR.items()):
+        report = lint_launch(bench.launch("tiny"))
+        assert report.ok(), (
+            f"{abbr} has lint errors: "
+            + "; ".join(d.render() for d in report.errors))
+
+
+def test_diagnostic_render_includes_location():
+    bundle = clean_bundle(0)
+    diag = make_diagnostic("RPL001", "synthetic", bundle.launch.kernel, 0)
+    assert bundle.launch.kernel.name in diag.render()
+    assert "[0]" in diag.render()
+
+
+def test_report_json_round_trip():
+    bundle = clean_bundle(0)
+    report = lint_launch(bundle.launch, bundle.config)
+    blob = json.dumps(report.to_dict())
+    back = json.loads(blob)
+    assert set(back) == {"diagnostics", "errors", "warnings",
+                         "skipped_passes"}
+
+
+def test_strict_promotes_warnings():
+    report = LintReport()
+    report.add(make_diagnostic("RPL001", "w", "k", None))
+    assert report.ok()
+    assert not report.ok(strict=True)
+
+
+def test_kernel_only_lint_skips_launch_passes():
+    kernel = clean_bundle(0).launch.kernel
+    report = lint_kernel(kernel)
+    assert "races" in report.skipped_passes
+    assert "bounds" in report.skipped_passes
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=300))
+def test_lint_is_pure_and_deterministic(seed):
+    bundle = clean_bundle(seed)
+    kernel = bundle.launch.kernel
+    insts_before = [repr(i) for i in kernel.instructions]
+    mem_before = bundle.launch.memory.words.copy()
+
+    first = lint_launch(bundle.launch, FIXTURE_CONFIG)
+    second = lint_launch(bundle.launch, FIXTURE_CONFIG)
+
+    assert [repr(i) for i in kernel.instructions] == insts_before
+    assert (bundle.launch.memory.words == mem_before).all()
+    assert first.render() == second.render()
+    assert [d.to_dict() for d in first.diagnostics] == \
+        [d.to_dict() for d in second.diagnostics]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=300))
+def test_clean_corpus_lints_silently(seed):
+    bundle = clean_bundle(seed)
+    report = lint_launch(bundle.launch, bundle.config)
+    assert not report.diagnostics, report.render()

@@ -1,7 +1,6 @@
 """Tests for the memory subsystem: coalescer, caches, MSHRs, locking, DRAM."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CacheConfig, DRAMConfig

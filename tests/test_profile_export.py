@@ -7,13 +7,7 @@ import json
 import pytest
 
 from repro.core import run_dac
-from repro.harness import (
-    Profile,
-    experiment_config,
-    profile,
-    to_csv,
-    to_json,
-)
+from repro.harness import experiment_config, profile, to_csv, to_json
 from repro.sim import simulate
 from repro.workloads import get
 

@@ -8,7 +8,6 @@ as an oracle.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import run_dac

@@ -1,0 +1,35 @@
+"""Availability-gated checks for the external static tooling.
+
+CI installs ruff and mypy and runs them as a dedicated job; locally they
+may be absent, in which case these tests skip rather than fail.  Keeping
+them in the suite means a developer with the dev extras installed gets
+the same gate as CI from a plain ``pytest`` run."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(tool: str, *argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", tool, *argv],
+        cwd=REPO, capture_output=True, text=True, timeout=300)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed (CI-only gate)")
+def test_ruff_clean():
+    proc = _run("ruff", "check", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (CI-only gate)")
+def test_mypy_clean():
+    proc = _run("mypy", "src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -9,17 +9,7 @@ import pytest
 from repro.cli import main
 from repro.harness.runner import TECHNIQUES, experiment_config, run_one
 from repro.harness.profile import profile
-from repro.trace import (
-    STALL_REASONS,
-    NullTracer,
-    Tracer,
-    chrome_trace,
-    stall_buckets,
-    stall_report,
-    write_chrome_trace,
-    write_occupancy_csv,
-    OCCUPANCY_COLUMNS,
-)
+from repro.trace import STALL_REASONS, NullTracer, Tracer, stall_buckets, stall_report, write_chrome_trace, write_occupancy_csv, OCCUPANCY_COLUMNS
 
 CONFIG = experiment_config(num_sms=2)
 WORKLOADS = ("LIB", "CP", "BP", "HI", "MT")

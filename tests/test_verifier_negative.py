@@ -7,8 +7,8 @@ verifier that silently returns ok on broken streams would let decoupler
 regressions surface as queue mismatches deep inside simulations."""
 
 import dataclasses
+import re
 
-import pytest
 
 from repro.compiler import decouple, verify
 from repro.isa import Instruction, KernelBuilder, Opcode, PredReg
@@ -144,3 +144,31 @@ def _tokens(inst):
 def test_valid_program_stays_clean():
     """Sanity: the unmutated program is accepted (guards the fixtures)."""
     assert verify(make_program()).ok
+
+
+class TestErrorFormat:
+    """Every verifier error must locate the offending instruction as
+    ``kernel[index] (line N)`` so failures are actionable without
+    re-dumping the streams."""
+
+    def test_kind_mismatch_carries_both_locations(self):
+        program = make_program()
+        insts = list(program.affine.instructions)
+        first = enq_indices(program)[0]
+        insts[first] = dataclasses.replace(insts[first],
+                                           opcode=Opcode.ENQ_ADDR)
+        report = verify(with_stream(program, "affine", insts))
+        assert not report.ok
+        error = next(e for e in report.errors if "enq kind" in e)
+        assert re.search(r"enq at affine_\w+\[\d+\] \(line \d+\)", error), \
+            error
+        assert re.search(r"deq at na_\w+\[\d+\] \(line \d+\)", error)
+
+    def test_duplicate_dequeue_carries_location(self):
+        program = make_program()
+        insts = list(program.nonaffine.instructions)
+        deq = next(i for i in insts if any(True for _ in _tokens(i)))
+        insts.insert(0, deq)
+        report = verify(with_stream(program, "nonaffine", insts))
+        error = next(e for e in report.errors if "duplicate dequeue" in e)
+        assert re.search(r"\w+\[\d+\] \(line \d+\)", error), error

@@ -6,7 +6,6 @@ implementations of the kernels' math.
 """
 
 import numpy as np
-import pytest
 
 from repro.sim import GPUConfig, run_functional
 from repro.workloads import get
