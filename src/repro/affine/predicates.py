@@ -9,6 +9,7 @@ otherwise the PEU expands it per warp with the endpoint trick.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -44,12 +45,17 @@ class AffinePredicate:
                 isinstance(self.rhs, DivergentSet):
             raise AffineError("predicates over divergent sets not supported")
 
-    @property
+    # Cached: the PEU's scalar tier and the affine warp's scalar branches
+    # consult these on every expansion/step, and the operands are frozen
+    # (cached_property writes the instance __dict__ directly, which a
+    # frozen dataclass permits).
+
+    @cached_property
     def is_scalar(self) -> bool:
         """True when one comparison decides every thread of the CTA."""
         return self.lhs.is_scalar and self.rhs.is_scalar
 
-    @property
+    @cached_property
     def scalar_value(self) -> bool:
         if not self.is_scalar:
             raise AffineError("predicate is not scalar")

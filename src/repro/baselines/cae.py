@@ -77,12 +77,12 @@ class CAESM(SM):
 
     # ---- hooks -------------------------------------------------------------
 
-    def issue(self, warp, inst: Instruction, now: int) -> int:
+    def issue(self, warp, decoded, now: int) -> int:
         self._issued_affine = False
-        interval = super().issue(warp, inst, now)
+        interval = super().issue(warp, decoded, now)
+        inst = decoded.inst
         if isinstance(warp, WarpContext) and inst.written_regs() \
-                and not (inst.category == "arithmetic"
-                         or inst.opcode is Opcode.SETP):
+                and not decoded.counts_alu:
             # Loads (and any non-ALU writer) break the affine tag.
             for dst in inst.written_regs():
                 if isinstance(dst, Register):

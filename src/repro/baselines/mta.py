@@ -79,6 +79,7 @@ class MTASM(SM):
         self.table: OrderedDict[int, _StrideEntry] = OrderedDict()
         self.buffer = PrefetchBuffer(mta.buffer_bytes // LINE_SIZE)
         self.degree = mta.prefetch_degree
+        self._table_cap = mta.table_entries   # hoisted off the train path
         self._window: deque[int] = deque()    # recent evictions: 1=used
 
     # ---- the load-path hook ------------------------------------------------
@@ -106,7 +107,7 @@ class MTASM(SM):
                             now: int) -> None:
         entry = self.table.get(inst.uid)
         if entry is None:
-            if len(self.table) >= self.config.mta.table_entries:
+            if len(self.table) >= self._table_cap:
                 self.table.popitem(last=False)
             entry = _StrideEntry()
             self.table[inst.uid] = entry

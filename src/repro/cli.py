@@ -15,6 +15,9 @@ Commands:
   fig18, fig19, fig20, fig21, or ``all``);
 * ``faults`` — seeded fault-injection campaign: every injected fault must
   be detected (checker / hang / oracle) or survived, never silent;
+* ``perf`` — the benchmark gate: run the fixed workload × technique
+  matrix, assert Stats bit-identity against the committed goldens, and
+  write throughput numbers to ``BENCH_5.json``;
 * ``lint`` — static diagnostics (``RPL0xx``) over benchmarks or an
   assembly file; ``--campaign`` differentially validates every diagnostic
   class against the simulator.
@@ -315,6 +318,11 @@ def _cmd_faults(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_perf(args) -> int:
+    from .harness.bench import main_perf
+    return main_perf(args)
+
+
 def _cmd_lint(args) -> int:
     import json as json_mod
 
@@ -465,6 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verbose", action="store_true",
                         help="print each cell's outcome as it lands")
     faults.set_defaults(func=_cmd_faults)
+
+    perf = sub.add_parser(
+        "perf", help="throughput benchmark gated on Stats bit-identity")
+    perf.add_argument("--quick", action="store_true",
+                      help="golden matrix only (tiny scale); skips the "
+                           "paper-scale throughput cells")
+    perf.add_argument("--reps", type=int, default=2, metavar="N",
+                      help="timing repetitions per cell, best-of reported "
+                           "(default 2 — the committed reference numbers "
+                           "are best-of-2)")
+    perf.add_argument("--out", default=None, metavar="FILE",
+                      help="bench JSON destination (default: BENCH_5.json "
+                           "at the repo root)")
+    perf.set_defaults(func=_cmd_perf)
 
     lint = sub.add_parser(
         "lint", help="static diagnostics for kernels (RPL0xx codes)")

@@ -31,6 +31,7 @@ from ..isa import (
     PredReg,
     Register,
     SpecialReg,
+    decoded_of,
 )
 from ..sim.simt_stack import SIMTStack
 from .queues import BarrierMarker, TupleEntry
@@ -91,6 +92,7 @@ class AffineCTAExec:
         self.sm = sm
         self.cta = cta
         self.kernel = kernel
+        self.code = decoded_of(kernel)      # shared per-kernel decode cache
         self.cfg = cfg
         launch = cta.launch
         self.launch = launch
@@ -223,11 +225,11 @@ class AffineCTAExec:
         return mask
 
     def ready(self, now: int) -> bool:
-        inst = self.current_instruction()
-        if inst is None:
+        if self.done:
             return False
-        if inst.is_enq:
-            atq = (self.sm.atq_pred if inst.opcode is Opcode.ENQ_PRED
+        decoded = self.code[self.stack.pc]
+        if decoded.is_enq:
+            atq = (self.sm.atq_pred if decoded.opcode is Opcode.ENQ_PRED
                    else self.sm.atq_mem)
             return atq.has_space()
         return True

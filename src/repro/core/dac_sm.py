@@ -42,8 +42,15 @@ class DACSM(SM):
         dac = self.config.dac
         self.atq_mem = ATQ(dac.atq_entries // 2)
         self.atq_pred = ATQ(dac.atq_entries - dac.atq_entries // 2)
+        # Freed ATQ space is what unblocks the affine warp's enqueues; it
+        # lives on scheduler 0 (wake it when either queue drains).
+        self.atq_mem.on_space = self._wake_affine
+        self.atq_pred.on_space = self._wake_affine
         self.aeu = AddressExpansionUnit(self, self.atq_mem)
         self.peu = PredicateExpansionUnit(self, self.atq_pred)
+        # A pushed ATQ entry gives the matching expansion unit new work.
+        self.atq_mem.on_push = self.aeu.wake
+        self.atq_pred.on_push = self.peu.wake
         self.affine_handle = AffineWarpHandle()
         self.schedulers[0].add_warp(self.affine_handle)
         self.affine_execs: dict[int, AffineCTAExec] = {}
@@ -61,8 +68,17 @@ class DACSM(SM):
     def on_cta_assigned(self, cta: CTAState) -> None:
         for warp in self.warps:
             if warp.cta is cta:
-                warp.pwaq = PerWarpQueue(self._pwaq_capacity)
-                warp.pwpq = PerWarpQueue(self._pwpq_capacity)
+                # A record arriving on a per-warp queue is a wake condition
+                # for the owning scheduler (the warp may be blocked on an
+                # empty queue); ``warp.sched`` was set by add_warp.
+                # ... and a popped record frees the space a full-queue-
+                # blocked expansion scan waits on.
+                warp.pwaq = PerWarpQueue(self._pwaq_capacity,
+                                         on_push=warp.sched.wake,
+                                         on_pop=self.aeu.wake)
+                warp.pwpq = PerWarpQueue(self._pwpq_capacity,
+                                         on_push=warp.sched.wake,
+                                         on_pop=self.peu.wake)
         program = self.program
         if program is None or not program.is_decoupled:
             return
@@ -73,6 +89,9 @@ class DACSM(SM):
                               self.gpu.cfg_of(program.affine))
         self.affine_execs[key] = exec_
         self.affine_handle.add(exec_)
+        # A fresh affine stream: the affine warp and the expansion units
+        # have new work even if they were cached as blocked.
+        self.wake_all()
 
     def on_cta_retired(self, cta: CTAState) -> None:
         key = id(cta)
@@ -93,6 +112,20 @@ class DACSM(SM):
             leftover += len(warp.pwpq.drain())
         if leftover:
             self.stats.add("dac.leftover_records", leftover)
+        # Unlocked lines free L1 lock-table space an AEU scan can be
+        # blocked on (and the drained queues freed record space).
+        self.aeu.wake()
+        self.peu.wake()
+
+    # ---- wake plumbing ---------------------------------------------------
+
+    def wake_all(self) -> None:
+        super().wake_all()
+        self.aeu.wake()
+        self.peu.wake()
+
+    def _wake_affine(self) -> None:
+        self.schedulers[0]._asleep = False
 
     # ---- cycle -----------------------------------------------------------
 
@@ -115,12 +148,11 @@ class DACSM(SM):
             return self._try_issue_affine(now)
         if isinstance(warp, WarpContext) and not warp.done \
                 and not warp.at_barrier:
-            inst = warp.launch.kernel.instructions[warp.pc]
-            token = _deq_token(inst)
-            if token is not None:
-                if not warp.regs_ready(inst):
+            decoded = warp.code[warp.pc]
+            if decoded.deq_token is not None:
+                if not warp.scoreboard_ready(decoded):
                     return 0
-                return self._try_issue_deq(warp, inst, token, now)
+                return self._try_issue_deq(warp, decoded, now, scheduler)
         return super().try_issue(warp, now, scheduler)
 
     # ---- stall diagnosis (tracing only; must not mutate) ---------------
@@ -160,11 +192,12 @@ class DACSM(SM):
         exec_ = self.affine_handle.pick_ready(now)
         if exec_ is None:
             return 0
-        inst = exec_.current_instruction()
+        decoded = exec_.code[exec_.stack.pc]
+        inst = decoded.inst
         exec_.step(now)
         stats = self.stats
         stats.add("affine_warp_instructions")
-        stats.add(f"affine_inst.{inst.category}")
+        stats.add(decoded.affine_stat_key)
         if exec_.last_step_concrete:
             # §3 fallback: the value was expanded to concrete per-thread
             # vectors — a full-width vector op over every warp of the CTA.
@@ -174,7 +207,7 @@ class DACSM(SM):
             stats.add("rf_accesses", 2 * warps)
             interval = self.config.issue_interval * warps
         else:
-            if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
+            if decoded.counts_alu:
                 # Tuple computation maps one base + up to 6 offsets onto
                 # SIMT lanes (§4.4, Fig. 12).
                 stats.add("affine_alu_lanes", 7)
@@ -188,14 +221,21 @@ class DACSM(SM):
 
     # ---- dequeue issue -------------------------------------------------
 
-    def _try_issue_deq(self, warp: WarpContext, inst: Instruction,
-                       token: DeqToken, now: int) -> int:
-        kind = token.kind
-        mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
-        if not mask.any():
+    def _try_issue_deq(self, warp: WarpContext, decoded, now: int,
+                       scheduler) -> int:
+        inst = decoded.inst
+        token = decoded.deq_token
+        kind = decoded.deq_kind
+        if decoded.guard_pred is None:
+            mask = warp.stack.active_mask
+            empty = not warp.active_any()
+        else:
+            mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
+            empty = not mask.any()
+        if empty:
             # Fully predicated off: nothing was expanded for this warp, so
             # nothing is popped (matches the AEU skipping empty warps).
-            self._count_issue(warp, inst, 0)
+            self._count_issue(warp, decoded, 0)
             warp.stack.pc = warp.pc + 1
             if self.trace_on:
                 self.tracer.warp_issue(now, self.index, warp.slot, inst, 0,
@@ -205,7 +245,7 @@ class DACSM(SM):
         if kind == "pred":
             record = warp.pwpq.head()
             if record is None:
-                self.stats.add("dac.stall_pred_record")
+                scheduler.note_stall("dac.stall_pred_record")
                 return 0
             if self.checkers.enabled:
                 self.checkers.check_dequeue(self, warp, token, record)
@@ -215,12 +255,13 @@ class DACSM(SM):
                 self.tracer.dequeue(now, self.index, warp.slot, "pred",
                                     record.queue_id)
             dst = inst.dsts[0]
+            name = decoded.dst_name
             warp.executor.write(dst, record.bits, mask)
-            warp.acquire(dst.name)
+            warp.acquire(name)
             self.events.schedule(
                 now + self.config.alu_latency,
-                lambda t, w=warp, n=dst.name: w.release(n))
-            self._count_issue(warp, inst, int(mask.sum()))
+                lambda t, w=warp, n=name: w.release(n))
+            self._count_issue(warp, decoded, int(mask.sum()))
             warp.stack.pc = warp.pc + 1
             if self.trace_on:
                 self.tracer.warp_issue(now, self.index, warp.slot, inst,
@@ -230,7 +271,7 @@ class DACSM(SM):
 
         record = warp.pwaq.head()
         if record is None:
-            self.stats.add("dac.stall_no_record")
+            scheduler.note_stall("dac.stall_no_record")
             return 0
         if self.checkers.enabled:
             self.checkers.check_dequeue(self, warp, token, record)
@@ -240,7 +281,7 @@ class DACSM(SM):
                 f"{record.kind} (kernel {warp.launch.kernel.name!r})")
         if kind == "data":
             if record.fills_remaining > 0:
-                self.stats.add("dac.stall_fill")
+                scheduler.note_stall("dac.stall_fill")
                 return 0                       # data not yet in L1 (Fig. 9 ⑨)
             if now < self.lsu_free:
                 return 0
@@ -253,7 +294,7 @@ class DACSM(SM):
                 return 0
             warp.pwaq.pop()
             self._finish_deq_store(warp, inst, record, mask, now)
-        self._count_issue(warp, inst, int(mask.sum()))
+        self._count_issue(warp, decoded, int(mask.sum()))
         warp.stack.pc = warp.pc + 1
         if self.trace_on:
             self.tracer.dequeue(now, self.index, warp.slot, record.kind,
@@ -272,6 +313,9 @@ class DACSM(SM):
         self.stats.add("dac.deq_load_lines", len(record.lines))
         for line in record.locked_lines:
             self.l1.unlock(line)
+        if record.locked_lines:
+            # Freed lock-table space can unblock an AEU lock acquisition.
+            self.aeu.wake()
         # Idempotent against a duplicated record (fault injection): a second
         # dequeue of the same object must not steal another record's lock.
         record.locked_lines = []

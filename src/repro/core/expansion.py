@@ -14,13 +14,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..affine import AffinePredicate, DivergentSet
-from ..memory.coalescer import coalesce, word_mask
 from .affine_warp import AffineCTAExec, ConcreteExpr
 from .queues import ATQ, AddressRecord, BarrierMarker, PredRecord, TupleEntry
 
 
 class ExpansionUnit:
-    """Shared machinery: CTA round-robin, barrier gating, busy tracking."""
+    """Shared machinery: CTA round-robin, barrier gating, busy tracking.
+
+    Like the schedulers, a unit whose full scan found nothing processable
+    caches that outcome and *sleeps*: the scan's inputs (ATQ heads, barrier
+    generations, per-warp queue occupancy, the resident-CTA set) only change
+    inside an instruction issue or a CTA assignment, both of which call
+    ``DACSM.wake_all``/``wake``.  A blocked scan mutates nothing (the
+    round-robin cursor only advances on progress), so skipping it is
+    invisible to the timing model.
+    """
 
     def __init__(self, sm, atq: ATQ, name: str):
         self.sm = sm
@@ -28,6 +36,10 @@ class ExpansionUnit:
         self.name = name
         self.busy_until = 0
         self._rr = 0
+        self._asleep = False
+
+    def wake(self) -> None:
+        self._asleep = False
 
     def tick(self, now: int) -> bool:
         """One cycle of work.  Returns True when the unit made progress or
@@ -35,8 +47,11 @@ class ExpansionUnit:
         it)."""
         if now < self.busy_until:
             return True
+        if self._asleep:
+            return False
         keys = self.atq.cta_keys()
         if not keys:
+            self._asleep = True
             return False
         for i in range(len(keys)):
             key = keys[(self._rr + i) % len(keys)]
@@ -55,6 +70,7 @@ class ExpansionUnit:
             if self._process(head, exec_, key, now):
                 self._rr = (self._rr + i) % len(keys)
                 return True
+        self._asleep = True
         return False
 
     def _process(self, entry: TupleEntry, exec_: AffineCTAExec,
@@ -104,8 +120,7 @@ class AddressExpansionUnit(ExpansionUnit):
         else:
             addrs = expr.evaluate(exec_.tx[lane], exec_.ty[lane],
                                   exec_.tz[lane])
-        lines = coalesce(addrs, mask)
-        masks = [word_mask(line, addrs, mask) for line in lines]
+        lines, masks = self.sm.coalescer.lines_and_masks(addrs, mask)
         record = AddressRecord(kind=entry.kind, queue_id=entry.queue_id,
                                lines=lines, word_masks=masks, addrs=addrs,
                                mask=mask)
@@ -136,7 +151,8 @@ class AddressExpansionUnit(ExpansionUnit):
                     stats.add("dac.lock_denied")
                 self.sm.l1.read(
                     line, now,
-                    lambda t, r=record: self._on_fill(r, t), lock=lock)
+                    lambda t, r=record, w=warp: self._on_fill(r, w, t),
+                    lock=lock)
             record.issue_time = now
         else:
             stats.add("dac.affine_store_records")
@@ -158,9 +174,14 @@ class AddressExpansionUnit(ExpansionUnit):
         self._advance(entry, exec_, key)
         return True
 
-    def _on_fill(self, record: AddressRecord, now: int) -> None:
+    def _on_fill(self, record: AddressRecord, warp, now: int) -> None:
         record.fills_remaining -= 1
         record.fill_time = max(record.fill_time, now)
+        # The destination warp may be cached as blocked on this record's
+        # outstanding fills: every fill re-checks (conservative but cheap).
+        sched = warp.sched
+        if sched is not None:
+            sched._asleep = False
         if record.fills_remaining == 0 and self.sm.trace_on:
             self.sm.tracer.record_fill(now, self.sm.index, record.queue_id)
 

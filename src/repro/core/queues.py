@@ -72,14 +72,21 @@ class ATQ:
         self.capacity = capacity
         self._queues: dict[int, deque] = {}
         self._count = 0
+        # Wake hooks: freed entry space unblocks the affine warp's enqueues;
+        # a pushed entry (tuple or barrier marker) gives the expansion unit
+        # draining this ATQ new work.  The owning DACSM wires both.
+        self.on_space = None
+        self.on_push = None
 
     def register_cta(self, cta_key: int) -> None:
         self._queues.setdefault(cta_key, deque())
 
     def drop_cta(self, cta_key: int) -> list:
         leftovers = list(self._queues.pop(cta_key, ()))
-        self._count -= sum(1 for e in leftovers
-                           if isinstance(e, TupleEntry))
+        freed = sum(1 for e in leftovers if isinstance(e, TupleEntry))
+        self._count -= freed
+        if freed and self.on_space is not None:
+            self.on_space()
         return leftovers
 
     def has_space(self) -> bool:
@@ -91,6 +98,8 @@ class ATQ:
                 raise RuntimeError("ATQ overflow (caller must check)")
             self._count += 1
         self._queues[cta_key].append(entry)
+        if self.on_push is not None:
+            self.on_push()
 
     def head(self, cta_key: int):
         queue = self._queues.get(cta_key)
@@ -100,6 +109,8 @@ class ATQ:
         entry = self._queues[cta_key].popleft()
         if isinstance(entry, TupleEntry):
             self._count -= 1
+            if self.on_space is not None:
+                self.on_space()
         return entry
 
     def cta_keys(self) -> list[int]:
@@ -116,11 +127,19 @@ class ATQ:
 
 
 class PerWarpQueue:
-    """A bounded FIFO attached to one non-affine warp (PWAQ or PWPQ)."""
+    """A bounded FIFO attached to one non-affine warp (PWAQ or PWPQ).
 
-    def __init__(self, capacity: int):
+    ``on_push`` is the wake hook for the owning warp's scheduler: a record
+    arriving is exactly what a blocked dequeue instruction waits on.
+    ``on_pop`` wakes the producing expansion unit: freed space is what a
+    full-queue-blocked expansion scan waits on.
+    """
+
+    def __init__(self, capacity: int, on_push=None, on_pop=None):
         self.capacity = capacity
         self._items: deque = deque()
+        self.on_push = on_push
+        self.on_pop = on_pop
 
     def full(self) -> bool:
         return len(self._items) >= self.capacity
@@ -129,12 +148,17 @@ class PerWarpQueue:
         if self.full():
             raise RuntimeError("per-warp queue overflow (caller must check)")
         self._items.append(item)
+        if self.on_push is not None:
+            self.on_push()
 
     def head(self):
         return self._items[0] if self._items else None
 
     def pop(self):
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self.on_pop is not None:
+            self.on_pop()
+        return item
 
     def __len__(self) -> int:
         return len(self._items)
@@ -142,4 +166,6 @@ class PerWarpQueue:
     def drain(self) -> list:
         items = list(self._items)
         self._items.clear()
+        if items and self.on_pop is not None:
+            self.on_pop()
         return items

@@ -1,0 +1,219 @@
+"""Simulator-throughput microbenchmarks (``python -m repro perf``).
+
+The perf harness runs a fixed (workload × technique) matrix, measures
+wall-clock and simulated-cycles-per-second, and — crucially — asserts that
+every run's :class:`~repro.stats.Stats` is bit-identical to the committed
+golden under ``tests/goldens/stats``.  Optimizations to the simulation core
+are only optimizations if the goldens survive; a golden diff is a timing
+model change and fails the run.
+
+``BENCH_baseline.json`` (repo root) records the wall-clock of the core at
+the moment the goldens were last regenerated, so the report can show a
+speedup trajectory.  Wall-clock comparisons are informational — only the
+Stats identity gate can fail the run (runner speed is not reproducible,
+simulated hardware is).
+
+Results land in ``BENCH_<n>.json`` at the repo root; one file per PR that
+touches the core keeps the perf trajectory reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..core import run_dac
+from ..sim.gpu import RunResult, simulate
+from ..workloads import get
+from .report import ascii_table
+from .runner import experiment_config
+
+#: Bit-identity regression matrix: small, fast cells covering every
+#: technique and a spread of control/memory structure (branchy BP, strided
+#: SG/ST, scatter HI, irregular BFS).  Used by ``--quick`` and by
+#: ``tests/test_golden_stats.py``.
+GOLDEN_MATRIX = tuple(
+    (abbr, technique, "tiny")
+    for abbr in ("CP", "BP", "SG", "ST", "HI", "BFS")
+    for technique in ("baseline", "cae", "mta", "dac")
+)
+
+#: Throughput matrix: paper-scale runs long enough for stable wall-clock.
+BENCH_MATRIX = tuple(
+    (abbr, technique, "paper")
+    for abbr in ("CP", "SG", "HI")
+    for technique in ("baseline", "cae", "mta", "dac")
+)
+
+#: One traced and one fault-injected golden pin the observability paths.
+TRACED_GOLDEN = ("BP", "dac", "tiny")
+FAULT_GOLDEN = ("SG", "dac", "tiny")
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+GOLDEN_DIR = os.path.join(_ROOT, "tests", "goldens", "stats")
+BASELINE_PATH = os.path.join(_ROOT, "BENCH_baseline.json")
+
+
+def golden_name(abbr: str, technique: str, scale: str) -> str:
+    return f"{abbr}_{technique}_{scale}"
+
+
+def load_golden(name: str) -> dict | None:
+    path = os.path.join(GOLDEN_DIR, name + ".json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def load_reference() -> dict:
+    """The committed pre-optimization wall-clock reference (may be absent
+    on a fresh checkout with regenerated goldens)."""
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle).get("matrix", {})
+
+
+def run_cell(abbr: str, technique: str, scale: str,
+             config: GPUConfig | None = None, trace: bool = False,
+             faults=None, checkers=None) -> RunResult:
+    """One uncached simulation of a matrix cell (the perf harness never
+    consults the result caches — it exists to time real simulation)."""
+    config = config or experiment_config()
+    launch = get(abbr).launch(scale)
+    tracer = None
+    if trace:
+        from ..trace import Tracer
+        tracer = Tracer()
+    if technique == "dac":
+        return run_dac(launch, config, tracer=tracer, faults=faults,
+                       checkers=checkers)
+    return simulate(launch, config.with_technique(technique),
+                    tracer=tracer, faults=faults, checkers=checkers)
+
+
+def diff_stats(got: dict, want: dict) -> list[str]:
+    """Human-readable counter mismatches (empty = bit-identical)."""
+    lines = []
+    for key in sorted(set(got) | set(want)):
+        a, b = got.get(key), want.get(key)
+        if a != b:
+            lines.append(f"{key}: got {a!r}, golden {b!r}")
+    return lines
+
+
+def bench_matrix(quick: bool = False, reps: int = 2,
+                 config: GPUConfig | None = None,
+                 progress=None) -> dict:
+    """Run the matrix; returns the ``BENCH_*.json`` payload.
+
+    Every cell is simulated ``reps`` times (best-of wall-clock) and its
+    final Stats compared against the committed golden.  ``quick`` restricts
+    the matrix to the tiny-scale golden cells (the CI smoke matrix).
+    """
+    config = config or experiment_config()
+    cells = GOLDEN_MATRIX if quick else GOLDEN_MATRIX + BENCH_MATRIX
+    reference = load_reference()
+    out: dict = {"schema": "repro-bench/1", "quick": bool(quick),
+                 "reps": int(reps), "cells": {}, "mismatches": {}}
+    speedups = []
+    for i, (abbr, technique, scale) in enumerate(cells):
+        name = golden_name(abbr, technique, scale)
+        best = None
+        result = None
+        for _ in range(max(1, reps)):
+            t0 = time.perf_counter()
+            result = run_cell(abbr, technique, scale, config)
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        golden = load_golden(name)
+        mismatch = None
+        if golden is None:
+            mismatch = ["no committed golden (run tests/goldens/generate.py)"]
+        else:
+            diff = diff_stats(result.stats.as_dict(), golden)
+            if diff:
+                mismatch = diff
+        ref = reference.get(name, {}).get("wall_seconds")
+        speedup = (ref / best) if ref else None
+        if speedup is not None:
+            speedups.append(speedup)
+        out["cells"][name] = {
+            "cycles": result.cycles,
+            "wall_seconds": best,
+            "sim_cycles_per_second": result.cycles / max(best, 1e-9),
+            "ref_wall_seconds": ref,
+            "speedup_vs_reference": speedup,
+            "stats_identical": mismatch is None,
+        }
+        if mismatch is not None:
+            out["mismatches"][name] = mismatch
+        if progress is not None:
+            progress(i + 1, len(cells), name, out["cells"][name])
+    out["geomean_speedup_vs_reference"] = (
+        float(np.exp(np.mean(np.log(speedups)))) if speedups else None)
+    out["ok"] = not out["mismatches"]
+    return out
+
+
+def bench_report(payload: dict) -> str:
+    rows = []
+    for name, cell in payload["cells"].items():
+        speedup = cell["speedup_vs_reference"]
+        rows.append([
+            name,
+            cell["cycles"],
+            f"{cell['wall_seconds']:.3f}",
+            f"{cell['sim_cycles_per_second']:,.0f}",
+            f"{cell['ref_wall_seconds']:.3f}" if cell["ref_wall_seconds"]
+            else "-",
+            f"{speedup:.2f}x" if speedup else "-",
+            "ok" if cell["stats_identical"] else "MISMATCH",
+        ])
+    table = ascii_table(
+        ["cell", "cycles", "wall (s)", "sim cyc/s", "ref (s)", "speedup",
+         "stats"],
+        rows, "simulator throughput")
+    lines = [table]
+    geomean = payload["geomean_speedup_vs_reference"]
+    if geomean is not None:
+        lines.append(f"\ngeomean speedup vs reference core: {geomean:.2f}x")
+    for name, diff in payload["mismatches"].items():
+        lines.append(f"\nSTATS MISMATCH {name}:")
+        lines.extend(f"  {line}" for line in diff[:20])
+        if len(diff) > 20:
+            lines.append(f"  ... {len(diff) - 20} more")
+    return "\n".join(lines)
+
+
+def write_bench_json(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def main_perf(args) -> int:
+    """Driver for ``python -m repro perf`` (wired up in cli.py)."""
+    payload = bench_matrix(
+        quick=args.quick, reps=args.reps,
+        progress=lambda done, total, name, cell: print(
+            f"  [{done}/{total}] {name}: {cell['wall_seconds']:.3f}s "
+            f"({cell['sim_cycles_per_second']:,.0f} cyc/s)"
+            + ("" if cell["stats_identical"] else "  STATS MISMATCH"),
+            file=sys.stderr))
+    print(bench_report(payload))
+    out = args.out or os.path.join(_ROOT, "BENCH_5.json")
+    write_bench_json(payload, out)
+    print(f"\nbench results written to {out}")
+    if not payload["ok"]:
+        print("FAIL: Stats diverged from the committed goldens "
+              "(timing semantics changed)", file=sys.stderr)
+        return 1
+    return 0

@@ -8,6 +8,8 @@ from .instructions import (
     ALU_UNARY,
     CAE_CAPABLE_OPS,
     CmpOp,
+    Decoded,
+    decoded_of,
     ENQ_OPS,
     Instruction,
     MemSpace,
@@ -31,8 +33,9 @@ from .operands import (
 
 __all__ = [
     "AFFINE_CAPABLE_OPS", "ALU_BINARY", "ALU_UNARY", "AsmError",
-    "CAE_CAPABLE_OPS", "CmpOp", "DIMS", "DeqToken", "ENQ_OPS", "Immediate",
-    "Instruction", "Kernel", "KernelBuilder", "MemRef", "MemSpace", "Opcode", "Operand",
-    "Param", "PredReg", "Register", "SFU_OPS", "SpecialReg", "is_readonly",
+    "CAE_CAPABLE_OPS", "CmpOp", "DIMS", "Decoded", "DeqToken", "ENQ_OPS",
+    "Immediate", "Instruction", "Kernel", "KernelBuilder", "MemRef",
+    "MemSpace", "Opcode", "Operand", "Param", "PredReg", "Register",
+    "SFU_OPS", "SpecialReg", "decoded_of", "is_readonly",
     "parse_instruction", "parse_kernel", "parse_operand", "validate",
 ]

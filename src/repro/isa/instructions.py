@@ -246,6 +246,86 @@ class Instruction:
         return replace(self, **changes)
 
 
+class Decoded:
+    """Statically decoded issue-path facts for one :class:`Instruction`.
+
+    The timing models consult instruction classification on every dynamic
+    issue attempt; deriving it from the operand tuples each time allocates
+    and branches in the hottest loop of the simulator.  A ``Decoded`` record
+    is computed once per static instruction and carries plain attributes the
+    issue path reads directly.  It holds no dynamic state, so one record per
+    kernel serves every warp and every SM.
+    """
+
+    __slots__ = (
+        "inst", "opcode", "scoreboard", "nregs", "stat_key", "counts_alu",
+        "is_sfu", "is_exit", "is_barrier", "is_branch", "is_memory",
+        "is_load", "is_shared", "is_enq", "needs_lsu", "mem_ref",
+        "guard_pred", "guard_negated", "deq_token", "deq_kind", "dst_name",
+        "affine_stat_key",
+    )
+
+    def __init__(self, inst: Instruction):
+        self.inst = inst
+        self.opcode = inst.opcode
+        names: list[str] = []
+        for op in inst.read_regs() + inst.written_regs():
+            if op.name not in names:
+                names.append(op.name)
+        self.scoreboard = tuple(names)
+        self.nregs = len(inst.read_regs()) + len(inst.written_regs())
+        category = inst.category
+        self.stat_key = "inst." + category
+        self.affine_stat_key = "affine_inst." + category
+        self.counts_alu = (category == "arithmetic"
+                           or inst.opcode is Opcode.SETP)
+        self.is_sfu = inst.is_sfu
+        self.is_exit = inst.is_exit
+        self.is_barrier = inst.is_barrier
+        self.is_branch = inst.is_branch
+        self.is_memory = inst.is_memory
+        self.is_load = inst.is_load
+        self.is_shared = inst.space is MemSpace.SHARED
+        self.is_enq = inst.is_enq
+        self.needs_lsu = self.is_memory and not self.is_shared
+        self.mem_ref = inst.mem_ref()
+        self.guard_pred = inst.guard if isinstance(inst.guard, PredReg) \
+            else None
+        self.guard_negated = inst.guard_negated
+        token = None
+        for op in inst.srcs + inst.dsts:
+            if isinstance(op, DeqToken):
+                token = op
+                break
+        if token is None and isinstance(inst.guard, DeqToken):
+            token = inst.guard
+        self.deq_token = token
+        self.deq_kind = token.kind if token is not None else None
+        self.dst_name = inst.dsts[0].name \
+            if inst.dsts and isinstance(inst.dsts[0], (Register, PredReg)) \
+            else None
+
+    def __repr__(self) -> str:
+        return f"Decoded({self.inst!r})"
+
+
+def decoded_of(kernel) -> list[Decoded]:
+    """The kernel's decode cache, aligned with ``kernel.instructions``.
+
+    Attached to the kernel object itself (kernels are unhashable dataclass
+    instances, so an external ``id()``-keyed map would risk stale hits after
+    garbage collection — the same defect the CFG cache had).  The cache is
+    invalidated when the instruction list is replaced or resized.
+    """
+    cached = getattr(kernel, "_decoded", None)
+    if cached is not None and cached[0] is kernel.instructions \
+            and len(cached[1]) == len(kernel.instructions):
+        return cached[1]
+    code = [Decoded(inst) for inst in kernel.instructions]
+    kernel._decoded = (kernel.instructions, code)
+    return code
+
+
 def _operand_counts(opcode: Opcode) -> tuple[int, int]:
     """(num_dsts, num_srcs) for validation."""
     if opcode in ALU_BINARY:

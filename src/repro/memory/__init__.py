@@ -1,11 +1,13 @@
 """Memory subsystem: coalescer, caches with DAC lock support, DRAM."""
 
 from .cache import SetAssocCache
-from .coalescer import LINE_SHIFT, LINE_SIZE, coalesce, line_of, word_mask
+from .coalescer import (CoalesceCache, LINE_SHIFT, LINE_SIZE, coalesce,
+                        line_of, word_mask)
 from .dram import DRAM, PerfectMemory
 from .hierarchy import LatencyChannel, MemoryHierarchy
 
 __all__ = [
-    "DRAM", "LINE_SHIFT", "LINE_SIZE", "LatencyChannel", "MemoryHierarchy",
-    "PerfectMemory", "SetAssocCache", "coalesce", "line_of", "word_mask",
+    "CoalesceCache", "DRAM", "LINE_SHIFT", "LINE_SIZE", "LatencyChannel",
+    "MemoryHierarchy", "PerfectMemory", "SetAssocCache", "coalesce",
+    "line_of", "word_mask",
 ]

@@ -59,6 +59,16 @@ class SetAssocCache:
         self._pending_locked_fills: dict[int, int] = {}   # set idx -> count
         self._next_free = 0.0
         self._use_clock = 0
+        # Stat keys, preformatted once: these counters are bumped on every
+        # access and the f-string formatting shows up in profiles.
+        self._k_accesses = name + ".accesses"
+        self._k_hits = name + ".hits"
+        self._k_misses = name + ".misses"
+        self._k_mshr_merged = name + ".mshr_merged"
+        self._k_mshr_stalls = name + ".mshr_stalls"
+        self._k_locked_bypass = name + ".locked_bypass"
+        self._k_evictions = name + ".evictions"
+        self._k_writes = name + ".writes"
 
     # ---- geometry ------------------------------------------------------
 
@@ -67,7 +77,7 @@ class SetAssocCache:
 
     def _lookup(self, line_addr: int) -> _Line | None:
         tag = line_addr // self.config.line_size
-        for line in self._sets[self._set_index(line_addr)]:
+        for line in self._sets[tag % self.num_sets]:
             if line.valid and line.tag == tag:
                 return line
         return None
@@ -92,10 +102,10 @@ class SetAssocCache:
         """Request a line; ``callback(time)`` fires when the data is present
         in this cache level.  ``lock=True`` is the AEU early-request path."""
         start = self._admit(now)
-        self.stats.add(f"{self.name}.accesses")
+        self.stats.add(self._k_accesses)
         line = self._lookup(line_addr)
         if line is not None:
-            self.stats.add(f"{self.name}.hits")
+            self.stats.add(self._k_hits)
             self._use_clock += 1
             line.last_use = self._use_clock
             if lock:
@@ -105,7 +115,7 @@ class SetAssocCache:
                 self.tracer.mem_access(start, self.trace_label, line_addr,
                                        True)
             return
-        self.stats.add(f"{self.name}.misses")
+        self.stats.add(self._k_misses)
         if self.tracer.enabled:
             self.tracer.mem_access(start, self.trace_label, line_addr, False)
         self._miss(line_addr, start, callback, lock)
@@ -114,7 +124,7 @@ class SetAssocCache:
               callback: Callable[[int], None], lock: bool) -> None:
         entry = self._mshrs.get(line_addr)
         if entry is not None:                       # secondary miss: merge
-            self.stats.add(f"{self.name}.mshr_merged")
+            self.stats.add(self._k_mshr_merged)
             entry.callbacks.append(callback)
             if lock:
                 if entry.lock_count == 0:
@@ -124,7 +134,7 @@ class SetAssocCache:
                 entry.lock_count += 1
             return
         if len(self._mshrs) >= self.config.num_mshrs:
-            self.stats.add(f"{self.name}.mshr_stalls")
+            self.stats.add(self._k_mshr_stalls)
             self._mshr_wait.append((line_addr, callback, lock))
             return
         self._allocate_mshr(line_addr, now, callback, lock)
@@ -191,10 +201,10 @@ class SetAssocCache:
             if not unlocked:
                 # Every way locked by the AEU (bounded by ways-1) *plus*
                 # non-affine fills racing in: deliver without caching.
-                self.stats.add(f"{self.name}.locked_bypass")
+                self.stats.add(self._k_locked_bypass)
                 return
             victim = min(unlocked, key=lambda l: l.last_use)
-            self.stats.add(f"{self.name}.evictions")
+            self.stats.add(self._k_evictions)
         self._use_clock += 1
         victim.tag = line_addr // self.config.line_size
         victim.valid = True
@@ -205,7 +215,7 @@ class SetAssocCache:
 
     def write(self, line_addr: int, now: int) -> None:
         start = self._admit(now)
-        self.stats.add(f"{self.name}.writes")
+        self.stats.add(self._k_writes)
         line = self._lookup(line_addr)
         if line is not None:
             self._use_clock += 1

@@ -44,3 +44,77 @@ def word_mask(line_address: int, addresses: np.ndarray,
     for w in np.unique(words):
         mask |= 1 << int(w)
     return mask
+
+
+class CoalesceCache:
+    """Memoized coalescing for the dominant affine access patterns.
+
+    A warp's coalescing result depends only on the active threads' addresses
+    *relative to the first active address's line*: shifting every address by
+    a whole number of lines shifts the line list by the same amount and
+    leaves the word masks unchanged.  Strided workloads therefore repeat a
+    tiny number of relative patterns across thousands of accesses, and the
+    ``np.unique`` + per-line mask loop can be computed once per pattern.
+
+    Correctness relies on two exact identities over int64:
+    ``(a - b*LINE_SIZE) >> LINE_SHIFT == (a >> LINE_SHIFT) - b`` (arithmetic
+    shift; the subtrahend is line-aligned) and the word offsets
+    ``a - line_address`` being invariant under the same shift.  The fault
+    checkers recompute records through the uncached module functions, so a
+    cache defect would trip the expansion-consistency checker.
+    """
+
+    __slots__ = ("_patterns",)
+
+    #: Bound on distinct relative patterns kept (irregular workloads could
+    #: otherwise grow the table without limit); on overflow the table is
+    #: dropped, not the hit rate for regular patterns.
+    MAX_PATTERNS = 1 << 14
+
+    def __init__(self) -> None:
+        self._patterns: dict[bytes, tuple[tuple[int, ...],
+                                          tuple[int, ...]]] = {}
+
+    def _pattern(self, addresses: np.ndarray,
+                 active: np.ndarray) -> tuple[tuple, int] | None:
+        act = addresses[active].astype(np.int64)
+        if act.size == 0:
+            return None
+        base_line = int(act[0]) >> LINE_SHIFT
+        rel = act - (base_line << LINE_SHIFT)
+        key = rel.tobytes()
+        pattern = self._patterns.get(key)
+        if pattern is None:
+            rel_lines = rel >> LINE_SHIFT
+            lines = np.unique(rel_lines)
+            masks = []
+            for line in lines:
+                offsets = rel[rel_lines == line] - (int(line) << LINE_SHIFT)
+                mask = 0
+                for w in np.unique(offsets // 4):
+                    mask |= 1 << int(w)
+                masks.append(mask)
+            pattern = (tuple(int(line) for line in lines), tuple(masks))
+            if len(self._patterns) >= self.MAX_PATTERNS:
+                self._patterns.clear()
+            self._patterns[key] = pattern
+        return pattern, base_line
+
+    def lines(self, addresses: np.ndarray, active: np.ndarray) -> list[int]:
+        """Memoized :func:`coalesce` (identical result)."""
+        hit = self._pattern(addresses, active)
+        if hit is None:
+            return []
+        pattern, base = hit
+        return [(base + line) << LINE_SHIFT for line in pattern[0]]
+
+    def lines_and_masks(self, addresses: np.ndarray,
+                        active: np.ndarray) -> tuple[list[int], list[int]]:
+        """Memoized (:func:`coalesce`, per-line :func:`word_mask`) pair at
+        the AEU's 4-byte granularity (identical results)."""
+        hit = self._pattern(addresses, active)
+        if hit is None:
+            return [], []
+        pattern, base = hit
+        return ([(base + line) << LINE_SHIFT for line in pattern[0]],
+                list(pattern[1]))

@@ -44,6 +44,12 @@ class DRAM:
         self._bus_free = 0.0
         self._pipe_in = config.latency // 2
         self._pipe_out = config.latency - config.latency // 2
+        self._row_div = config.num_banks * max(1, config.row_size // 128)
+        # Preformatted per-request stat keys (hot path).
+        self._k_reads = name + ".reads"
+        self._k_writes = name + ".writes"
+        self._k_row_hits = name + ".row_hits"
+        self._k_row_misses = name + ".row_misses"
 
     # ---- geometry --------------------------------------------------------
 
@@ -51,18 +57,17 @@ class DRAM:
         return (line_addr // 128) % self.config.num_banks
 
     def _row_of(self, line_addr: int) -> int:
-        lines_per_row = max(1, self.config.row_size // 128)
-        return (line_addr // 128) // (self.config.num_banks * lines_per_row)
+        return (line_addr // 128) // self._row_div
 
     # ---- request entry -----------------------------------------------------
 
     def read(self, line_addr: int, now: int,
              callback: Callable[[int], None]) -> None:
-        self.stats.add(f"{self.name}.reads")
+        self.stats.add(self._k_reads)
         self._enqueue(line_addr, now, callback)
 
     def write(self, line_addr: int, now: int) -> None:
-        self.stats.add(f"{self.name}.writes")
+        self.stats.add(self._k_writes)
         self._enqueue(line_addr, now, None)
 
     def _enqueue(self, line_addr: int, now: int,
@@ -114,11 +119,11 @@ class DRAM:
         row = self._row_of(addr)
         if row == self._open_row[bank]:
             busy = self.config.t_row_hit
-            self.stats.add(f"{self.name}.row_hits")
+            self.stats.add(self._k_row_hits)
         else:
             busy = self.config.t_row_miss
             self._open_row[bank] = row
-            self.stats.add(f"{self.name}.row_misses")
+            self.stats.add(self._k_row_misses)
         done = now + busy
         self._bank_free[bank] = done
         data_start = max(float(done), self._bus_free)

@@ -142,16 +142,19 @@ class WarpExecutor:
 
     def write(self, dst, values, mask: np.ndarray) -> None:
         warp = self.warp
-        if isinstance(dst, PredReg):
-            current = self.value(dst)
-            vals = np.broadcast_to(np.asarray(values, dtype=bool),
-                                   (warp.width,))
-            current[mask] = vals[mask]
-            return
+        dtype = bool if isinstance(dst, PredReg) else np.float64
         current = self.value(dst)
-        vals = np.broadcast_to(np.asarray(values, dtype=np.float64),
-                               (warp.width,))
-        current[mask] = vals[mask]
+        vals = np.asarray(values, dtype=dtype)
+        if vals.shape != (warp.width,):
+            vals = np.broadcast_to(vals, (warp.width,))
+        full = (warp.active_all() if mask is warp.stack.active_mask
+                else mask.all())
+        if full:
+            # Full-mask writeback (the common case): plain copy instead of
+            # two boolean fancy-index operations.
+            current[:] = vals
+        else:
+            current[mask] = vals[mask]
 
     # ---- instruction execution -----------------------------------------
 

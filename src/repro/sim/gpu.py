@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..compiler.cfg import CFG
 from ..config import GPUConfig
 from ..events import EventQueue
 from ..faults import NULL_CHECKERS, NULL_FAULTS
+from ..memory.coalescer import CoalesceCache
 from ..memory.hierarchy import MemoryHierarchy
 from ..stats import Stats
 from ..trace.tracer import NULL_TRACER
@@ -97,9 +99,9 @@ class GPU:
         self.hierarchy = MemoryHierarchy(config, self.events, self.stats,
                                          tracer=self.tracer,
                                          faults=self.faults)
+        self.coalescer = CoalesceCache()
         self.sms = [self._make_sm(i) for i in range(config.num_sms)]
-        self._cfg_cache: dict[int, CFG] = {}
-        self._pending_blocks: list[tuple[int, int, int]] = []
+        self._pending_blocks: deque[tuple[int, int, int]] = deque()
         self._launch: KernelLaunch | None = None
         self._last_progress = 0
 
@@ -121,10 +123,14 @@ class GPU:
     # ---- shared analyses -------------------------------------------------
 
     def cfg_of(self, kernel) -> CFG:
-        cfg = self._cfg_cache.get(id(kernel))
+        # The CFG rides on the kernel object itself: an ``id()``-keyed map
+        # can serve a stale CFG when a collected kernel's id is reused, and
+        # kernels (eq-comparing dataclasses) are unhashable, so a
+        # WeakKeyDictionary is not an option either.
+        cfg = getattr(kernel, "_cfg", None)
         if cfg is None:
             cfg = CFG(kernel)
-            self._cfg_cache[id(kernel)] = cfg
+            kernel._cfg = cfg
         return cfg
 
     def reconvergence(self, kernel, branch_index: int) -> int:
@@ -140,12 +146,13 @@ class GPU:
                 if not self._pending_blocks:
                     break
                 if sm.can_accept(self._launch):
-                    sm.assign_cta(self._launch, self._pending_blocks.pop(0))
+                    sm.assign_cta(self._launch,
+                                  self._pending_blocks.popleft())
                     progress = True
 
     def on_cta_complete(self, sm: SM) -> None:
         if self._pending_blocks and sm.can_accept(self._launch):
-            sm.assign_cta(self._launch, self._pending_blocks.pop(0))
+            sm.assign_cta(self._launch, self._pending_blocks.popleft())
 
     # ---- main loop ---------------------------------------------------------
 
@@ -153,7 +160,7 @@ class GPU:
         if launch.warps_per_block > self.config.warps_per_sm:
             raise ValueError("CTA needs more warp slots than an SM has")
         self._launch = launch
-        self._pending_blocks = launch.block_indices()
+        self._pending_blocks = deque(launch.block_indices())
         self._fill_sms()
 
         now = 0
@@ -182,6 +189,11 @@ class GPU:
                 continue
             # Nothing issued: fast-forward to the next time anything can
             # change — an event, or a scheduler coming off its busy window.
+            # The set of executed cycles is part of the timing semantics
+            # (blocked DAC dequeues accrue stall counters each executed
+            # cycle), so the skip condition must stay machine-wide; the
+            # per-scheduler next-wake tracking lives inside Scheduler.tick,
+            # which makes the non-skippable cycles O(1) per scheduler.
             candidates = []
             next_event = self.events.next_time()
             if next_event is not None:

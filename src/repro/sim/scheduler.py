@@ -1,7 +1,36 @@
 """Warp schedulers: loose round-robin and two-level active (Table 1,
-Narasiman et al. [20])."""
+Narasiman et al. [20]) — with event-driven wake/sleep readiness caching.
+
+The golden timing model walks every owned warp each cycle and lets
+``try_issue`` reject the ones that cannot issue.  Almost always the answer
+is identical to the previous cycle: nothing a warp waits on (a scoreboard
+release, ``lsu_free``, a barrier, a DAC queue arrival) changed.  The
+scheduler therefore caches a failed walk and *sleeps*: subsequent ticks
+replay the walk's observable side effects (the DAC dequeue stall counters,
+which the golden walk increments every blocked cycle) without touching any
+warp, until either a wake condition fires or ``lsu_free`` is reached.
+
+Wake conditions (each clears ``_asleep``):
+
+- ``WarpContext.release`` — a scoreboard register became ready;
+- barrier release and CTA assignment (``SM.wake_all``) — the SM-wide
+  changes that can unblock warps on any scheduler;
+- DAC record delivery: ``PerWarpQueue`` push and AEU early-fill completion;
+- ATQ space freed (affine-warp enqueue readiness);
+- warps added to or removed from the scheduler;
+- ``lsu_free`` — the only *time*-gated input: a blocked walk bounds its
+  sleep with the ``lsu_free`` it observed, so later movement of the LSU
+  horizon at worst causes a harmless early re-walk.
+
+Sleeping is disabled while tracing: the traced walk feeds the per-cycle
+stall attribution (PR 2), whose bucket-sum invariant must keep holding.
+The set of *executed* cycles is decided by ``GPU.run`` and is untouched —
+this cache only makes a blocked scheduler's executed cycle O(1).
+"""
 
 from __future__ import annotations
+
+_NEVER = float("inf")
 
 
 class Scheduler:
@@ -27,16 +56,41 @@ class Scheduler:
         self.busy_until = 0
         self.warps: list = []              # warps owned by this scheduler
         self._rotation = 0
+        # Wake/sleep state: when asleep, ticks replay ``_sleep_stalls``
+        # (stat keys the cached blocked walk added) until ``_sleep_wake``
+        # or an external wake.  Tracing pins the slow path.
+        self._asleep = False
+        self._sleep_stalls: tuple = ()
+        self._sleep_wake = _NEVER
+        self._walk_stalls: list | None = None
         # Per-cycle issue-slot attribution, maintained only when the GPU's
         # tracer is enabled; the main loop commits it after each cycle.
         self.stall_reason = "idle"
         self.stall_slot = -1
 
+    def wake(self) -> None:
+        self._asleep = False
+
     def add_warp(self, warp) -> None:
         self.warps.append(warp)
+        warp.sched = self
+        self._asleep = False
 
     def remove_warp(self, warp) -> None:
         self.warps.remove(warp)
+        warp.sched = None
+        self._asleep = False
+
+    def note_stall(self, key: str) -> None:
+        """A ``try_issue`` failure path adds a stall counter (the DAC
+        dequeue stalls): record it so a sleeping tick can replay the same
+        per-cycle delta the golden walk would have produced."""
+        self.sm.stats.add(key)
+        stalls = self._walk_stalls
+        if stalls is None:
+            self._walk_stalls = [key]
+        else:
+            stalls.append(key)
 
     def _ordered(self) -> list:
         n = len(self.warps)
@@ -49,23 +103,46 @@ class Scheduler:
         active = rotated[:self.active_size]
         pending = rotated[self.active_size:]
         # Active warps first; stalled active warps fall behind ready pending
-        # warps naturally because try_issue skips them.
+        # warps naturally because try_issue skips them.  For both policies
+        # the issue *order* is the plain rotation (active + pending is the
+        # rotated list re-joined); the policies differ only in how the
+        # rotation advances after an issue.
         return active + pending
 
     def tick(self, now: int) -> bool:
         """Attempt one issue; returns True if an instruction issued."""
-        trace = self.sm.trace_on
-        if now < self.busy_until or not self.warps:
+        sm = self.sm
+        trace = sm.trace_on
+        warps = self.warps
+        if now < self.busy_until or not warps:
             if trace:
                 self.stall_reason = ("busy" if now < self.busy_until
                                      else "idle")
                 self.stall_slot = -1
             return False
-        for warp in self._ordered():
-            # Position must be taken before issue: an exit instruction can
-            # retire the CTA and remove the warp from this scheduler.
-            position = self.warps.index(warp)
-            interval = self.sm.try_issue(warp, now, self)
+        if self._asleep and now < self._sleep_wake and not trace:
+            # Cached blocked walk: nothing this scheduler's warps wait on
+            # has changed.  Replay the stall counters the golden walk adds
+            # every blocked cycle and skip the walk itself.
+            stalls = self._sleep_stalls
+            if stalls:
+                stats = sm.stats
+                for key in stalls:
+                    stats.add(key)
+            return False
+        self._asleep = False
+        self._walk_stalls = None
+        n = len(warps)
+        rot = self._rotation % n
+        for i in range(n):
+            # Walk in rotated order by index arithmetic; the position must
+            # be taken before issue because an exit instruction can retire
+            # the CTA and remove the warp from this scheduler.
+            position = rot + i
+            if position >= n:
+                position -= n
+            warp = warps[position]
+            interval = sm.try_issue(warp, now, self)
             if interval:
                 self.busy_until = now + interval
                 if self.policy == "two_level":
@@ -74,11 +151,28 @@ class Scheduler:
                 else:
                     self._rotation = (self._rotation + 1) \
                         % max(1, len(self.warps))
+                # Issuing wakes sleepers through targeted hooks only: the
+                # cross-scheduler channels are barrier release (wake_all in
+                # _do_barrier), CTA retire/assign (add/remove_warp and
+                # on_cta_assigned), DAC queue movement (ATQ/PerWarpQueue
+                # push/pop hooks), and L1 unlocks (AEU wake).  ``lsu_free``
+                # advancing needs no wake: a sleeper blocked on it bounded
+                # its sleep with the value it saw, and a stale-time wake
+                # just re-walks and re-sleeps.
                 if trace:
                     self.stall_reason = "issued"
                     self.stall_slot = getattr(warp, "slot", -1)
                 return True
         if trace:
-            self.stall_reason, self.stall_slot = \
-                self.sm.diagnose_stall(self, now)
+            self.stall_reason, self.stall_slot = sm.diagnose_stall(self, now)
+            return False
+        # Blocked: sleep until a wake condition, replaying the stall deltas
+        # this walk produced.  ``lsu_free`` is the only *time*-gated input
+        # (a memory-ready warp becomes issuable by time passing alone), so
+        # it bounds the sleep; everything else wakes explicitly.
+        self._asleep = True
+        stalls = self._walk_stalls
+        self._sleep_stalls = tuple(stalls) if stalls else ()
+        lsu_free = sm.lsu_free
+        self._sleep_wake = lsu_free if lsu_free > now else _NEVER
         return False

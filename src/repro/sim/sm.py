@@ -8,10 +8,11 @@ issue.  Subclasses hook the issue path to add CAE, MTA, or DAC behaviour.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
-from ..isa import Instruction, MemSpace, Opcode
-from ..memory.coalescer import coalesce
+from ..isa import Decoded, Instruction, MemSpace
 from .launch import CTAState, KernelLaunch
 from .scheduler import Scheduler
 from .warp import WarpContext
@@ -31,8 +32,11 @@ class SM:
         self.faults = gpu.faults
         self.checkers = gpu.checkers
         self.l1 = gpu.hierarchy.l1_of(index)
+        self.coalescer = gpu.coalescer
         self.ctas: list[CTAState] = []
         self.warps: list[WarpContext] = []
+        # Min-heap of free hardware warp slots (list(range(n)) is already
+        # heap-ordered); assignment always takes the lowest slot.
         self._free_slots = list(range(self.config.warps_per_sm))
         self.schedulers = [
             Scheduler(self, i, self.config.scheduler,
@@ -53,7 +57,7 @@ class SM:
         cta = CTAState(block_idx, launch)
         self.ctas.append(cta)
         for w in range(launch.warps_per_block):
-            slot = self._free_slots.pop(0)
+            slot = heapq.heappop(self._free_slots)
             warp = WarpContext(launch, cta, w, slot)
             self.warps.append(warp)
             self.schedulers[slot % len(self.schedulers)].add_warp(warp)
@@ -70,8 +74,7 @@ class SM:
             self.warps.remove(warp)
             self.schedulers[warp.slot % len(self.schedulers)] \
                 .remove_warp(warp)
-            self._free_slots.append(warp.slot)
-        self._free_slots.sort()
+            heapq.heappush(self._free_slots, warp.slot)
         self.ctas.remove(cta)
         self.on_cta_retired(cta)
         if self.trace_on:
@@ -93,6 +96,15 @@ class SM:
     def busy(self) -> bool:
         return bool(self.warps)
 
+    def wake_all(self) -> None:
+        """Clear every scheduler's blocked-walk cache.  Called at the SM-wide
+        state changes that can unblock warps on *any* scheduler: a barrier
+        release and a CTA assignment.  Narrower changes wake their own
+        scheduler (scoreboard releases, DAC queue pushes); ``lsu_free`` is
+        time-bounded by each sleeper's own wake time."""
+        for scheduler in self.schedulers:
+            scheduler._asleep = False
+
     # ---- issue ------------------------------------------------------------
 
     def try_issue(self, warp: WarpContext, now: int,
@@ -101,15 +113,14 @@ class SM:
         number of cycles the scheduler is busy (0 = nothing issued)."""
         if warp.done or warp.at_barrier:
             return 0
-        inst = warp.launch.kernel.instructions[warp.pc]
-        if not warp.regs_ready(inst):
+        decoded = warp.code[warp.pc]
+        if not warp.scoreboard_ready(decoded):
             return 0
-        if inst.is_memory and inst.space is not MemSpace.SHARED \
-                and now < self.lsu_free:
+        if decoded.needs_lsu and now < self.lsu_free:
             return 0
-        if not self.extra_ready(warp, inst, now):
+        if not self.extra_ready(warp, decoded.inst, now):
             return 0
-        return self.issue(warp, inst, now)
+        return self.issue(warp, decoded, now)
 
     def extra_ready(self, warp: WarpContext, inst: Instruction,
                     now: int) -> bool:
@@ -145,24 +156,28 @@ class SM:
             return "queue_empty"
         return "other"
 
-    def issue(self, warp: WarpContext, inst: Instruction, now: int) -> int:
-        ex = warp.executor
-        mask = ex.guard_mask(inst, warp.stack.active_mask)
-        active = int(np.count_nonzero(mask))
-        self._count_issue(warp, inst, active)
+    def issue(self, warp: WarpContext, decoded: Decoded, now: int) -> int:
+        inst = decoded.inst
+        if decoded.guard_pred is None:
+            mask = warp.stack.active_mask
+            active = warp.active_count()
+        else:
+            mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
+            active = int(np.count_nonzero(mask))
+        self._count_issue(warp, decoded, active)
         warp.last_issue = now
 
-        if inst.is_exit:
+        if decoded.is_exit:
             self._do_exit(warp)
-        elif inst.is_barrier:
+        elif decoded.is_barrier:
             self._do_barrier(warp)
-        elif inst.is_branch:
+        elif decoded.is_branch:
             self._do_branch(warp, inst, mask)
-        elif inst.is_memory:
-            self._do_memory(warp, inst, mask, now)
+        elif decoded.is_memory:
+            self._do_memory(warp, decoded, mask, now)
             warp.stack.pc = warp.pc + 1
         else:
-            self._do_alu(warp, inst, mask, now)
+            self._do_alu(warp, decoded, mask, now)
             warp.stack.pc = warp.pc + 1
         interval = self.issue_interval_for(warp, inst, now)
         if self.trace_on:
@@ -176,16 +191,15 @@ class SM:
         single cycle."""
         return self.config.issue_interval
 
-    def _count_issue(self, warp: WarpContext, inst: Instruction,
+    def _count_issue(self, warp: WarpContext, decoded: Decoded,
                      active: int) -> None:
         stats = self.stats
         stats.add("warp_instructions")
         stats.add("thread_instructions", active)
-        stats.add(f"inst.{inst.category}")
-        nregs = len(inst.read_regs()) + len(inst.written_regs())
-        stats.add("rf_accesses", nregs * active)
-        if inst.category == "arithmetic" or inst.opcode is Opcode.SETP:
-            stats.add("sfu_ops" if inst.is_sfu else "alu_ops", active)
+        stats.add(decoded.stat_key)
+        stats.add("rf_accesses", decoded.nregs * active)
+        if decoded.counts_alu:
+            stats.add("sfu_ops" if decoded.is_sfu else "alu_ops", active)
 
     # ---- per-class execution ---------------------------------------------
 
@@ -209,6 +223,9 @@ class SM:
                 if w.cta is cta and w.at_barrier:
                     w.at_barrier = False
                     w.stack.pc = w.pc + 1
+            # Released warps live on both schedulers (and the expansion
+            # units may resume past a barrier marker): wake every sleeper.
+            self.wake_all()
             self.on_barrier_release(cta)
             if self.trace_on:
                 self.tracer.barrier_release(self.gpu.now, self.index,
@@ -235,46 +252,46 @@ class SM:
             rpc = self.gpu.reconvergence(warp.launch.kernel, warp.pc)
             warp.stack.diverge(taken, ntaken, target, warp.pc + 1, rpc)
 
-    def _do_alu(self, warp: WarpContext, inst: Instruction,
+    def _do_alu(self, warp: WarpContext, decoded: Decoded,
                 mask: np.ndarray, now: int) -> None:
+        inst = decoded.inst
         warp.executor.execute_alu(inst, mask)
-        latency = (self.config.sfu_latency if inst.is_sfu
+        latency = (self.config.sfu_latency if decoded.is_sfu
                    else self.config.alu_latency)
-        dst = inst.dsts[0]
-        warp.acquire(dst.name)
+        name = decoded.dst_name
+        warp.acquire(name)
         self.events.schedule(now + latency,
-                             lambda t, w=warp, n=dst.name: w.release(n))
+                             lambda t, w=warp, n=name: w.release(n))
         self.on_alu_executed(warp, inst, mask)
 
     def on_alu_executed(self, warp: WarpContext, inst: Instruction,
                         mask: np.ndarray) -> None:
         """Hook: CAE affine-tag maintenance."""
 
-    def _do_memory(self, warp: WarpContext, inst: Instruction,
+    def _do_memory(self, warp: WarpContext, decoded: Decoded,
                    mask: np.ndarray, now: int) -> None:
-        ref = inst.mem_ref()
+        inst = decoded.inst
         ex = warp.executor
-        addrs = ex.addresses(ref)
-        if inst.space is MemSpace.SHARED:
-            self._do_shared(warp, inst, mask, addrs, now)
+        addrs = ex.addresses(decoded.mem_ref)
+        if decoded.is_shared:
+            self._do_shared(warp, decoded, mask, addrs, now)
             return
-        if inst.is_load:
+        if decoded.is_load:
             ex.execute_load(inst, mask, addrs)
-            lines = coalesce(addrs, mask)
+            lines = self.coalescer.lines(addrs, mask)
             self.stats.add("gmem_loads")
             self.stats.add("gmem_load_lines", len(lines))
             if not lines:
                 return
             self.lsu_free = now + len(lines)
-            dst = inst.dsts[0]
-            warp.acquire(dst.name)
+            warp.acquire(decoded.dst_name)
             warp.mem_pending += 1
             state = {"remaining": len(lines)}
             if self.trace_on:
                 self.tracer.load_issue(now, self.index, warp.slot,
                                        len(lines))
 
-            def on_line(t, state=state, w=warp, name=dst.name):
+            def on_line(t, state=state, w=warp, name=decoded.dst_name):
                 state["remaining"] -= 1
                 if state["remaining"] == 0:
                     w.release(name)
@@ -286,7 +303,7 @@ class SM:
                 self.issue_line_read(warp, inst, line, now, on_line)
         else:
             ex.execute_store(inst, mask, addrs)
-            lines = coalesce(addrs, mask)
+            lines = self.coalescer.lines(addrs, mask)
             self.stats.add("gmem_stores")
             self.stats.add("gmem_store_lines", len(lines))
             self.lsu_free = now + max(1, len(lines))
@@ -299,15 +316,16 @@ class SM:
         stride tables here."""
         self.l1.read(line, now, callback)
 
-    def _do_shared(self, warp: WarpContext, inst: Instruction,
+    def _do_shared(self, warp: WarpContext, decoded: Decoded,
                    mask: np.ndarray, addrs: np.ndarray, now: int) -> None:
         self.stats.add("shared_accesses")
-        if inst.is_load:
+        inst = decoded.inst
+        if decoded.is_load:
             warp.executor.execute_load(inst, mask, addrs)
-            dst = inst.dsts[0]
-            warp.acquire(dst.name)
+            name = decoded.dst_name
+            warp.acquire(name)
             self.events.schedule(
                 now + self.config.shared_latency,
-                lambda t, w=warp, n=dst.name: w.release(n))
+                lambda t, w=warp, n=name: w.release(n))
         else:
             warp.executor.execute_store(inst, mask, addrs)

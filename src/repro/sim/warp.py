@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..isa.instructions import decoded_of
 from .executor import WarpExecutor
 from .launch import CTAState, KernelLaunch
 from .simt_stack import SIMTStack
@@ -21,6 +22,9 @@ class WarpContext:
         "launch", "cta", "warp_in_cta", "slot", "width", "tx", "ty", "tz",
         "initial_mask", "stack", "regs", "preds", "pending", "mem_pending",
         "done", "at_barrier", "executor", "cae_stride", "last_issue",
+        "code",                    # per-kernel Decoded list (shared)
+        "sched",                   # owning scheduler (wake target)
+        "_mask_any",               # (mask object, any, all, count) cache
         "pwaq", "pwpq",            # DAC per-warp queues (attached by DACSM)
     )
 
@@ -48,6 +52,9 @@ class WarpContext:
         self.executor = WarpExecutor(self)
         self.cae_stride: dict[str, float | None] = {}
         self.last_issue = 0
+        self.code = decoded_of(launch.kernel)
+        self.sched = None
+        self._mask_any = None
 
     # ---- geometry --------------------------------------------------------
 
@@ -74,6 +81,11 @@ class WarpContext:
 
     def release(self, name: str) -> None:
         self.pending[name] -= 1
+        # A scoreboard release is a wake condition: the owning scheduler may
+        # have cached this warp as blocked.
+        sched = self.sched
+        if sched is not None:
+            sched._asleep = False
 
     def regs_ready(self, inst) -> bool:
         pending = self.pending
@@ -86,3 +98,47 @@ class WarpContext:
             if pending.get(op.name, 0):
                 return False
         return True
+
+    def scoreboard_ready(self, decoded) -> bool:
+        """Fast-path ``regs_ready`` over the precomputed name tuple."""
+        pending = self.pending
+        if not pending:
+            return True
+        for name in decoded.scoreboard:
+            if pending.get(name, 0):
+                return False
+        return True
+
+    def _mask_facts(self, mask) -> tuple:
+        """(mask, any, all, count) memoized on top-of-stack mask identity.
+
+        SIMT-stack masks are copied on push and never mutated in place, so
+        the array object is a sound cache key.  The issue and dequeue paths
+        ask these questions on every walk/issue; without the cache the
+        numpy reductions dominate.
+        """
+        count = int(np.count_nonzero(mask))
+        facts = (mask, count > 0, count == mask.shape[0], count)
+        self._mask_any = facts
+        return facts
+
+    def active_any(self) -> bool:
+        mask = self.stack.active_mask
+        cached = self._mask_any
+        if cached is not None and cached[0] is mask:
+            return cached[1]
+        return self._mask_facts(mask)[1]
+
+    def active_all(self) -> bool:
+        mask = self.stack.active_mask
+        cached = self._mask_any
+        if cached is not None and cached[0] is mask:
+            return cached[2]
+        return self._mask_facts(mask)[2]
+
+    def active_count(self) -> int:
+        mask = self.stack.active_mask
+        cached = self._mask_any
+        if cached is not None and cached[0] is mask:
+            return cached[3]
+        return self._mask_facts(mask)[3]

@@ -1,0 +1,89 @@
+"""Regenerate the golden Stats fixtures (and the perf reference timings).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/goldens/generate.py [--stats-only]
+
+The JSON files written here pin the simulator's *timing semantics*: any
+core change that is supposed to be a pure optimization must reproduce
+every golden bit-for-bit (``tests/test_golden_stats.py`` and
+``python -m repro perf`` both assert this).  ``BENCH_baseline.json`` at
+the repo root additionally records the wall-clock throughput of the core
+at the moment the goldens were generated, so ``repro perf`` can report a
+speedup trajectory against it.
+
+Only regenerate after an *intentional* timing change, and say so in the
+commit message — a golden diff is a change to simulated hardware
+behaviour, never a refactor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, \
+    RuntimeCheckers                                          # noqa: E402
+from repro.harness.bench import BENCH_MATRIX, GOLDEN_MATRIX, \
+    FAULT_GOLDEN, TRACED_GOLDEN, golden_name, run_cell       # noqa: E402
+from repro.harness.runner import experiment_config           # noqa: E402
+
+
+def _write(name: str, stats: dict) -> None:
+    path = os.path.join(HERE, "stats", name + ".json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(stats, handle, indent=1, sort_keys=True)
+    print(f"  wrote {os.path.relpath(path, ROOT)}")
+
+
+def main(stats_only: bool = False) -> int:
+    config = experiment_config()
+    timings = {}
+    for abbr, technique, scale in sorted(set(GOLDEN_MATRIX + BENCH_MATRIX)):
+        best = None
+        reps = 1 if stats_only else 2
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = run_cell(abbr, technique, scale, config)
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        name = golden_name(abbr, technique, scale)
+        _write(name, dict(sorted(result.stats.as_dict().items())))
+        timings[name] = {"wall_seconds": best, "cycles": result.cycles}
+        print(f"  {name}: {result.cycles} cycles, {best:.3f}s")
+
+    # Traced run: the stall-attribution buckets must survive too.
+    abbr, technique, scale = TRACED_GOLDEN
+    result = run_cell(abbr, technique, scale, config, trace=True)
+    _write(f"traced_{golden_name(abbr, technique, scale)}",
+           dict(sorted(result.stats.as_dict().items())))
+
+    # Fault-injected run: deterministic timing-only faults.
+    abbr, technique, scale = FAULT_GOLDEN
+    plan = FaultPlan(specs=(FaultSpec("expand_delay", 0, 4),
+                            FaultSpec("dram_delay", 0, 8)))
+    result = run_cell(abbr, technique, scale, config,
+                      faults=FaultInjector(plan), checkers=RuntimeCheckers())
+    _write(f"fault_{golden_name(abbr, technique, scale)}",
+           dict(sorted(result.stats.as_dict().items())))
+
+    if not stats_only:
+        out = os.path.join(ROOT, "BENCH_baseline.json")
+        with open(out, "w") as handle:
+            json.dump({"matrix": timings,
+                       "note": "reference core wall-clock; regenerated "
+                               "together with the goldens"},
+                      handle, indent=1, sort_keys=True)
+        print(f"  wrote {os.path.relpath(out, ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(stats_only="--stats-only" in sys.argv))
