@@ -16,8 +16,11 @@ Commands:
 * ``faults`` — seeded fault-injection campaign: every injected fault must
   be detected (checker / hang / oracle) or survived, never silent;
 * ``perf`` — the benchmark gate: run the fixed workload × technique
-  matrix, assert Stats bit-identity against the committed goldens, and
-  write throughput numbers to ``BENCH_5.json``;
+  matrix with multi-rep statistical timing (mean, 95% CI, Welch t-test
+  verdict vs ``BENCH_baseline.json``), assert Stats bit-identity against
+  the committed goldens, write throughput numbers to the next free
+  ``BENCH_<n>.json``, and append to the ``BENCH_history.jsonl`` series
+  (``--history`` summarizes the trajectory);
 * ``lint`` — static diagnostics (``RPL0xx``) over benchmarks or an
   assembly file; ``--campaign`` differentially validates every diagnostic
   class against the simulator.
@@ -479,13 +482,22 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--quick", action="store_true",
                       help="golden matrix only (tiny scale); skips the "
                            "paper-scale throughput cells")
-    perf.add_argument("--reps", type=int, default=2, metavar="N",
-                      help="timing repetitions per cell, best-of reported "
-                           "(default 2 — the committed reference numbers "
-                           "are best-of-2)")
+    perf.add_argument("--reps", type=int, default=3, metavar="N",
+                      help="timing repetitions per cell; every sample is "
+                           "recorded and the report shows mean, 95%% CI, "
+                           "and a Welch t-test verdict vs the reference "
+                           "distribution (default 3 — the floor for a "
+                           "dispersion estimate)")
     perf.add_argument("--out", default=None, metavar="FILE",
-                      help="bench JSON destination (default: BENCH_5.json "
-                           "at the repo root)")
+                      help="bench JSON destination (default: the next "
+                           "free BENCH_<n>.json at the repo root, derived "
+                           "from the files already there)")
+    perf.add_argument("--history", action="store_true",
+                      help="summarize the BENCH_history.jsonl trajectory "
+                           "and exit (no simulation)")
+    perf.add_argument("--no-history", action="store_true",
+                      help="skip appending this run to "
+                           "BENCH_history.jsonl")
     perf.set_defaults(func=_cmd_perf)
 
     lint = sub.add_parser(

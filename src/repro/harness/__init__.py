@@ -24,6 +24,14 @@ from .diskcache import (
     result_to_json_dict,
 )
 from .parallel import GridCheckpoint, GridReport, default_jobs, run_grid
+from .perfstats import (
+    Summary,
+    TTestResult,
+    summarize,
+    t_critical,
+    verdict,
+    welch_t_test,
+)
 from .report import ascii_table, bar
 from .export import to_csv, to_json
 from .profile import Profile, profile
@@ -44,7 +52,7 @@ from .runner import (
 
 __all__ = [
     "DiskCache", "Geomean", "GridCheckpoint", "GridReport", "Profile",
-    "SweepPoint", "SweepResult",
+    "Summary", "SweepPoint", "SweepResult", "TTestResult",
     "TECHNIQUES", "ascii_table", "bar", "cache_key", "clear_cache",
     "configure_cache", "default_cache_dir", "default_jobs", "disk_cache",
     "experiment_config", "fig6_affine_potential", "fig6_report",
@@ -53,6 +61,7 @@ __all__ = [
     "fig21_energy", "fig21_report", "override", "profile",
     "result_from_json", "result_from_json_dict", "result_to_json",
     "result_to_json_dict", "run_benchmark", "run_grid", "run_launch",
-    "run_one", "run_suite", "simulate_launch", "sweep", "to_csv",
-    "to_json", "table2_classification",
+    "run_one", "run_suite", "simulate_launch", "summarize", "sweep",
+    "t_critical", "to_csv", "to_json", "table2_classification",
+    "verdict", "welch_t_test",
 ]

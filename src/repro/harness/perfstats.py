@@ -1,0 +1,406 @@
+"""Statistics for the perf gate: means, confidence intervals, Welch t-tests.
+
+The perf harness (``harness/bench.py``) used to report a single
+best-of-N wall-clock per cell, which makes "speedup vs reference" a
+point estimate that whipsaws on a noisy runner.  This module supplies
+the machinery to treat every cell as a *sample distribution* instead:
+
+* :func:`summarize` — sample mean, stddev (ddof=1), and a two-sided
+  confidence interval from a small Student-t table (no scipy);
+* :func:`welch_t_test` — a two-sample Welch t-test (unequal variances,
+  Welch–Satterthwaite degrees of freedom) deciding whether two timing
+  distributions actually differ;
+* :func:`verdict` — maps a t-test on (current, reference) samples to
+  ``win`` / ``regression`` / ``inconclusive``, the only vocabulary the
+  bench report uses for wall-clock claims;
+* the ``BENCH_history.jsonl`` time series: schema-versioned one-line
+  records (git SHA, host fingerprint, per-cell verdicts) appended by
+  every ``repro perf`` run, plus :func:`history_report` to summarize
+  the trajectory.
+
+Wall-clock verdicts are informational — the only hard failure in the
+perf gate remains Stats bit-identity against the committed goldens.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+
+from .report import ascii_table
+
+#: Schema tag stamped on every ``BENCH_history.jsonl`` line.
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+# Two-sided critical values of Student's t by degrees of freedom.
+# Rows above df=30 thin out; t_critical() interpolates between them
+# (linearly in df up to 120, then in 1/df towards the normal limit).
+_T_TABLE = {
+    0.05: {
+        1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+        13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+        19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+        25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+        40: 2.021, 60: 2.000, 120: 1.980,
+    },
+    0.01: {
+        1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032, 6: 3.707,
+        7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169, 11: 3.106, 12: 3.055,
+        13: 3.012, 14: 2.977, 15: 2.947, 16: 2.921, 17: 2.898, 18: 2.878,
+        19: 2.861, 20: 2.845, 21: 2.831, 22: 2.819, 23: 2.807, 24: 2.797,
+        25: 2.787, 26: 2.779, 27: 2.771, 28: 2.763, 29: 2.756, 30: 2.750,
+        40: 2.704, 60: 2.660, 120: 2.617,
+    },
+}
+
+#: Normal-approximation limit (df -> infinity) per alpha.
+_T_LIMIT = {0.05: 1.960, 0.01: 2.576}
+
+
+def t_critical(df: float, alpha: float = 0.05) -> float:
+    """Two-sided critical t value for ``df`` degrees of freedom.
+
+    ``df`` may be fractional (Welch–Satterthwaite produces fractional
+    df); values between table rows are linearly interpolated, values
+    beyond the last row interpolate in ``1/df`` towards the normal
+    limit.  Only the tabulated ``alpha`` levels (0.05, 0.01) are
+    supported — anything else raises ``ValueError``.
+    """
+    table = _T_TABLE.get(alpha)
+    if table is None:
+        raise ValueError(
+            f"alpha={alpha!r} not tabulated; choose from "
+            f"{sorted(_T_TABLE)}")
+    if df <= 0 or math.isnan(df):
+        raise ValueError(f"degrees of freedom must be positive, got {df!r}")
+    df = max(df, 1.0)
+    rows = sorted(table)
+    last = rows[-1]
+    if df >= last:
+        # Interpolate in 1/df between the last tabulated row and the
+        # normal limit so t_critical is continuous and monotonic.
+        limit = _T_LIMIT[alpha]
+        return limit + (table[last] - limit) * (last / df)
+    lo = max(r for r in rows if r <= df)
+    hi = min(r for r in rows if r >= df)
+    if lo == hi:
+        return table[lo]
+    frac = (df - lo) / (hi - lo)
+    return table[lo] + frac * (table[hi] - table[lo])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample statistics for one cell's wall-clock repetitions.
+
+    ``stddev`` / ``sem`` / the CI bounds are ``None`` when fewer than
+    two samples exist — a single rep has no dispersion estimate, and
+    pretending otherwise is exactly the bug this module replaces.
+    """
+
+    n: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float | None
+    sem: float | None
+    ci_low: float | None
+    ci_high: float | None
+    confidence: float = 0.95
+
+    @property
+    def ci_halfwidth(self) -> float | None:
+        if self.ci_low is None or self.ci_high is None:
+            return None
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+            "sem": self.sem,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+        }
+
+
+def mean(samples) -> float:
+    samples = list(samples)
+    return sum(samples) / len(samples)
+
+
+def sample_variance(samples) -> float | None:
+    """Unbiased (ddof=1) sample variance; ``None`` for fewer than 2."""
+    samples = list(samples)
+    if len(samples) < 2:
+        return None
+    m = mean(samples)
+    return sum((x - m) ** 2 for x in samples) / (len(samples) - 1)
+
+
+def summarize(samples, alpha: float = 0.05) -> Summary:
+    """Mean, stddev, and a two-sided ``1 - alpha`` CI for ``samples``."""
+    samples = [float(s) for s in samples]
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    n = len(samples)
+    m = mean(samples)
+    var = sample_variance(samples)
+    if var is None:
+        return Summary(n=n, mean=m, minimum=min(samples),
+                       maximum=max(samples), stddev=None, sem=None,
+                       ci_low=None, ci_high=None, confidence=1.0 - alpha)
+    sd = math.sqrt(var)
+    sem = sd / math.sqrt(n)
+    half = t_critical(n - 1, alpha) * sem
+    return Summary(n=n, mean=m, minimum=min(samples), maximum=max(samples),
+                   stddev=sd, sem=sem, ci_low=m - half, ci_high=m + half,
+                   confidence=1.0 - alpha)
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a two-sample Welch t-test.
+
+    ``t`` / ``df`` / ``critical`` are ``None`` when the test is not
+    computable (too few reps, or zero variance on both sides) — in
+    that case ``detail`` says why and ``significant`` reflects the
+    only defensible call (zero-variance distinct means: significant;
+    everything else: not).
+    """
+
+    significant: bool
+    detail: str
+    t: float | None = None
+    df: float | None = None
+    critical: float | None = None
+    alpha: float = 0.05
+    mean_a: float | None = None
+    mean_b: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "significant": self.significant,
+            "detail": self.detail,
+            "t": self.t,
+            "df": self.df,
+            "critical": self.critical,
+            "alpha": self.alpha,
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+        }
+
+
+def welch_t_test(samples_a, samples_b, alpha: float = 0.05) -> TTestResult:
+    """Two-sample Welch t-test: do the two means differ at ``alpha``?
+
+    Welch's variant does not assume equal variances — the right choice
+    for wall-clock on shared runners, where the reference and current
+    core were almost certainly timed under different noise regimes.
+    """
+    a = [float(x) for x in samples_a]
+    b = [float(x) for x in samples_b]
+    if not a or not b:
+        return TTestResult(significant=False, alpha=alpha,
+                           detail="empty sample set; test not computable")
+    ma, mb = mean(a), mean(b)
+    if len(a) < 2 or len(b) < 2:
+        return TTestResult(
+            significant=False, alpha=alpha, mean_a=ma, mean_b=mb,
+            detail=f"need >=2 reps per side (got {len(a)} vs {len(b)}); "
+                   "test not computable")
+    va = sample_variance(a)
+    vb = sample_variance(b)
+    assert va is not None and vb is not None
+    se2 = va / len(a) + vb / len(b)
+    if se2 == 0.0:
+        # Both sides are exactly constant.  Distinct constants differ
+        # trivially; identical constants trivially do not.
+        if ma == mb:
+            return TTestResult(
+                significant=False, alpha=alpha, mean_a=ma, mean_b=mb,
+                detail="zero variance on both sides, identical means")
+        return TTestResult(
+            significant=True, alpha=alpha, mean_a=ma, mean_b=mb,
+            detail="zero variance on both sides, distinct means")
+    t = (ma - mb) / math.sqrt(se2)
+    # Welch–Satterthwaite degrees of freedom.  A zero-variance side
+    # contributes nothing to the denominator; guard the (impossible
+    # here, se2 > 0) fully-degenerate case anyway.
+    denom = 0.0
+    if va > 0.0:
+        denom += (va / len(a)) ** 2 / (len(a) - 1)
+    if vb > 0.0:
+        denom += (vb / len(b)) ** 2 / (len(b) - 1)
+    df = (se2 ** 2) / denom if denom > 0.0 else float(len(a) + len(b) - 2)
+    crit = t_critical(df, alpha)
+    return TTestResult(significant=abs(t) > crit, t=t, df=df, critical=crit,
+                       alpha=alpha, mean_a=ma, mean_b=mb,
+                       detail=f"|t|={abs(t):.3f} vs t_crit({df:.1f})="
+                              f"{crit:.3f} at alpha={alpha}")
+
+
+#: The only vocabulary the bench report uses for wall-clock claims.
+VERDICTS = ("win", "regression", "inconclusive")
+
+
+def verdict(samples, ref_samples, alpha: float = 0.05
+            ) -> tuple[str, TTestResult]:
+    """Classify current-vs-reference wall-clock samples.
+
+    Lower is better (these are seconds): a statistically significant
+    drop in mean is a ``win``, a significant rise is a ``regression``,
+    anything else — including every not-computable case — is
+    ``inconclusive``.
+    """
+    test = welch_t_test(samples, ref_samples, alpha=alpha)
+    if not test.significant or test.mean_a is None or test.mean_b is None:
+        return "inconclusive", test
+    if test.mean_a < test.mean_b:
+        return "win", test
+    return "regression", test
+
+
+# --------------------------------------------------------------------------
+# BENCH_history.jsonl: the append-only perf time series.
+
+def git_fingerprint(root: str) -> dict:
+    """Current commit SHA and dirtiness, or Nones outside a checkout."""
+    def _git(*argv):
+        try:
+            proc = subprocess.run(
+                ("git", *argv), cwd=root, capture_output=True,
+                text=True, timeout=10)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout.strip() if proc.returncode == 0 else None
+
+    sha = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain") if sha else None
+    return {"sha": sha, "dirty": bool(status) if status is not None else None}
+
+
+def host_fingerprint() -> dict:
+    """Enough host identity to explain wall-clock shifts in the series."""
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def history_entry(payload: dict, root: str, bench_file: str | None = None,
+                  now: float | None = None) -> dict:
+    """One schema-versioned ``BENCH_history.jsonl`` line for a perf run.
+
+    Compact by design — per-cell mean/n/verdict, not the full sample
+    arrays (those live in the ``BENCH_<n>.json`` the run also writes).
+    """
+    now = time.time() if now is None else now
+    cells = {}
+    tally = dict.fromkeys(VERDICTS, 0)
+    tally["no-reference"] = 0
+    for name, cell in payload.get("cells", {}).items():
+        v = cell.get("verdict")
+        tally[v if v in tally else "no-reference"] += 1
+        cells[name] = {
+            "mean_wall_seconds": cell.get("wall_seconds"),
+            "reps": cell.get("reps"),
+            "speedup_vs_reference": cell.get("speedup_vs_reference"),
+            "verdict": v,
+            "stats_identical": cell.get("stats_identical"),
+        }
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": now,
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "git": git_fingerprint(root),
+        "host": host_fingerprint(),
+        "quick": payload.get("quick"),
+        "reps": payload.get("reps"),
+        "bench_file": bench_file,
+        "ok": payload.get("ok"),
+        "geomean_speedup_vs_reference":
+            payload.get("geomean_speedup_vs_reference"),
+        "verdicts": tally,
+        "cells": cells,
+    }
+
+
+def append_history(path: str, entry: dict) -> None:
+    """Append one JSON line; the file is an append-only time series."""
+    with open(path, "a") as handle:
+        json.dump(entry, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse the series, skipping blank/corrupt lines (an interrupted CI
+    writer must not brick every later ``--history`` report)."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+    return entries
+
+
+def history_report(entries: list[dict]) -> str:
+    """Human-readable trajectory summary of the history series."""
+    if not entries:
+        return ("no perf history yet: BENCH_history.jsonl is empty or "
+                "missing (every `repro perf` run appends one line)")
+    rows = []
+    for entry in entries:
+        sha = (entry.get("git") or {}).get("sha") or "-"
+        dirty = (entry.get("git") or {}).get("dirty")
+        tally = entry.get("verdicts") or {}
+        geomean = entry.get("geomean_speedup_vs_reference")
+        rows.append([
+            entry.get("utc") or "-",
+            (sha[:9] + ("+" if dirty else "")) if sha != "-" else "-",
+            "quick" if entry.get("quick") else "full",
+            entry.get("reps") or "-",
+            f"{geomean:.2f}x" if geomean is not None else "-",
+            "/".join(str(tally.get(k, 0))
+                     for k in ("win", "regression", "inconclusive")),
+            "ok" if entry.get("ok") else "STATS MISMATCH",
+        ])
+    table = ascii_table(
+        ["when (UTC)", "commit", "matrix", "reps", "geomean",
+         "win/reg/inc", "stats"],
+        rows, f"perf trajectory ({len(entries)} runs)")
+    lines = [table]
+    geomeans = [e.get("geomean_speedup_vs_reference") for e in entries]
+    geomeans = [g for g in geomeans if g is not None]
+    if len(geomeans) >= 2:
+        lines.append(f"\ngeomean speedup trajectory: first "
+                     f"{geomeans[0]:.2f}x -> latest {geomeans[-1]:.2f}x "
+                     f"over {len(geomeans)} measured runs")
+    regressions = sum(
+        (e.get("verdicts") or {}).get("regression", 0) for e in entries)
+    if regressions:
+        lines.append(f"{regressions} cell-level regression verdict(s) "
+                     "recorded across the series")
+    return "\n".join(lines)

@@ -2,15 +2,16 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python tests/goldens/generate.py [--stats-only]
+    PYTHONPATH=src python tests/goldens/generate.py [--stats-only] [--reps N]
 
 The JSON files written here pin the simulator's *timing semantics*: any
 core change that is supposed to be a pure optimization must reproduce
 every golden bit-for-bit (``tests/test_golden_stats.py`` and
 ``python -m repro perf`` both assert this).  ``BENCH_baseline.json`` at
-the repo root additionally records the wall-clock throughput of the core
-at the moment the goldens were generated, so ``repro perf`` can report a
-speedup trajectory against it.
+the repo root additionally records the wall-clock *sample distribution*
+of the core at the moment the goldens were generated (every rep, not a
+single best-of number), so ``repro perf`` can run a Welch t-test against
+it before calling anything a win or a regression.
 
 Only regenerate after an *intentional* timing change, and say so in the
 commit message — a golden diff is a change to simulated hardware
@@ -19,10 +20,10 @@ behaviour, never a refactor.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
-import time
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(os.path.dirname(HERE))
@@ -30,34 +31,36 @@ sys.path.insert(0, os.path.join(ROOT, "src"))
 
 from repro.faults import FaultInjector, FaultPlan, FaultSpec, \
     RuntimeCheckers                                          # noqa: E402
+from repro.harness import perfstats                          # noqa: E402
 from repro.harness.bench import BENCH_MATRIX, GOLDEN_MATRIX, \
-    FAULT_GOLDEN, TRACED_GOLDEN, golden_name, run_cell       # noqa: E402
+    FAULT_GOLDEN, TRACED_GOLDEN, golden_name, run_cell, time_cell  # noqa: E402
 from repro.harness.runner import experiment_config           # noqa: E402
 
-
-def _write(name: str, stats: dict) -> None:
-    path = os.path.join(HERE, "stats", name + ".json")
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(stats, handle, indent=1, sort_keys=True)
-    print(f"  wrote {os.path.relpath(path, ROOT)}")
+#: Baseline reps: five samples give the t-test a real reference
+#: distribution to pull variance from (two-sided 95%, df via Welch).
+DEFAULT_BASELINE_REPS = 5
 
 
-def main(stats_only: bool = False) -> int:
+def main(stats_only: bool = False,
+         reps: int = DEFAULT_BASELINE_REPS) -> int:
     config = experiment_config()
     timings = {}
     for abbr, technique, scale in sorted(set(GOLDEN_MATRIX + BENCH_MATRIX)):
-        best = None
-        reps = 1 if stats_only else 2
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            result = run_cell(abbr, technique, scale, config)
-            dt = time.perf_counter() - t0
-            best = dt if best is None else min(best, dt)
+        samples, result = time_cell(abbr, technique, scale, config,
+                                    reps=1 if stats_only else reps)
         name = golden_name(abbr, technique, scale)
         _write(name, dict(sorted(result.stats.as_dict().items())))
-        timings[name] = {"wall_seconds": best, "cycles": result.cycles}
-        print(f"  {name}: {result.cycles} cycles, {best:.3f}s")
+        summary = perfstats.summarize(samples)
+        timings[name] = {
+            "samples": samples,
+            "wall_seconds": summary.mean,
+            "stddev_wall_seconds": summary.stddev,
+            "cycles": result.cycles,
+        }
+        spread = (f" ±{summary.ci_halfwidth:.3f}"
+                  if summary.ci_halfwidth is not None else "")
+        print(f"  {name}: {result.cycles} cycles, "
+              f"{summary.mean:.3f}s{spread} over {summary.n} rep(s)")
 
     # Traced run: the stall-attribution buckets must survive too.
     abbr, technique, scale = TRACED_GOLDEN
@@ -77,13 +80,33 @@ def main(stats_only: bool = False) -> int:
     if not stats_only:
         out = os.path.join(ROOT, "BENCH_baseline.json")
         with open(out, "w") as handle:
-            json.dump({"matrix": timings,
-                       "note": "reference core wall-clock; regenerated "
-                               "together with the goldens"},
+            json.dump({"schema": "repro-bench-baseline/2",
+                       "reps": reps,
+                       "matrix": timings,
+                       "note": "reference core wall-clock sample "
+                               "distributions; regenerated together "
+                               "with the goldens"},
                       handle, indent=1, sort_keys=True)
+            handle.write("\n")
         print(f"  wrote {os.path.relpath(out, ROOT)}")
     return 0
 
 
+def _write(name: str, stats: dict) -> None:
+    path = os.path.join(HERE, "stats", name + ".json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(stats, handle, indent=1, sort_keys=True)
+    print(f"  wrote {os.path.relpath(path, ROOT)}")
+
+
 if __name__ == "__main__":
-    sys.exit(main(stats_only="--stats-only" in sys.argv))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stats-only", action="store_true",
+                        help="regenerate golden Stats fixtures only; "
+                             "leave BENCH_baseline.json untouched")
+    parser.add_argument("--reps", type=int, default=DEFAULT_BASELINE_REPS,
+                        help="timing repetitions per cell recorded in the "
+                             "baseline distribution (default %(default)s)")
+    cli = parser.parse_args()
+    sys.exit(main(stats_only=cli.stats_only, reps=cli.reps))

@@ -1,0 +1,260 @@
+"""The perf gate's statistics layer (``repro.harness.perfstats``).
+
+Synthetic distributions with known accept/reject outcomes pin the Welch
+t-test, small-sample edge cases pin the degenerate paths (one rep, zero
+variance), and a temp-dir round-trip pins the ``BENCH_history.jsonl``
+schema.  No scipy anywhere — the t-table and Welch–Satterthwaite df are
+hand-rolled, so they get checked against textbook values here.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.harness import perfstats
+from repro.harness.perfstats import (
+    summarize,
+    t_critical,
+    verdict,
+    welch_t_test,
+)
+
+
+class TestTCritical:
+    def test_textbook_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(4) == pytest.approx(2.776)
+        assert t_critical(30) == pytest.approx(2.042)
+        assert t_critical(4, alpha=0.01) == pytest.approx(4.604)
+
+    def test_fractional_df_interpolates_between_rows(self):
+        mid = t_critical(4.5)
+        assert t_critical(5) < mid < t_critical(4)
+
+    def test_large_df_approaches_normal_limit(self):
+        assert t_critical(120) == pytest.approx(1.980)
+        assert 1.960 < t_critical(5000) < 1.965
+        assert t_critical(10**9) == pytest.approx(1.960, abs=1e-3)
+
+    def test_monotonic_decreasing_in_df(self):
+        values = [t_critical(df) for df in
+                  (1, 2, 3.5, 10, 29.9, 30, 45, 80, 120, 200, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_untabulated_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(10, alpha=0.10)
+
+    def test_nonpositive_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+        with pytest.raises(ValueError):
+            t_critical(-3)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.stddev == pytest.approx(math.sqrt(2.5))
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        # CI = mean ± t_crit(4) * s/sqrt(5)
+        half = 2.776 * math.sqrt(2.5) / math.sqrt(5)
+        assert s.ci_low == pytest.approx(3.0 - half, rel=1e-3)
+        assert s.ci_high == pytest.approx(3.0 + half, rel=1e-3)
+
+    def test_ci_contains_mean_and_shrinks_with_n(self):
+        base = [10.0, 10.5, 9.5, 10.2, 9.8]
+        small = summarize(base)
+        large = summarize(base * 8)  # same dispersion, 8x the samples
+        assert small.ci_low < small.mean < small.ci_high
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_single_rep_has_no_dispersion_estimate(self):
+        s = summarize([4.2])
+        assert s.n == 1 and s.mean == 4.2
+        assert s.stddev is None and s.sem is None
+        assert s.ci_low is None and s.ci_high is None
+        assert s.ci_halfwidth is None
+
+    def test_zero_variance_gives_zero_width_ci(self):
+        s = summarize([2.5, 2.5, 2.5])
+        assert s.stddev == 0.0
+        assert s.ci_low == s.ci_high == s.mean
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_round_trips_through_json(self):
+        d = json.loads(json.dumps(summarize([1.0, 2.0]).as_dict()))
+        assert d["n"] == 2 and d["mean"] == pytest.approx(1.5)
+
+
+class TestWelchTTest:
+    # Two fixed draws from the same N(1, 0.05) distribution: must accept
+    # the null (no significant difference).
+    SAME_A = [1.02, 0.98, 1.01, 0.99, 1.03, 0.97, 1.00, 1.01]
+    SAME_B = [0.99, 1.02, 1.00, 0.98, 1.01, 1.03, 0.97, 1.00]
+    # Clearly shifted mean, similar tight spread: must reject the null.
+    SHIFTED = [1.52, 1.48, 1.51, 1.49, 1.53, 1.47, 1.50, 1.51]
+
+    def test_same_mean_not_significant(self):
+        test = welch_t_test(self.SAME_A, self.SAME_B)
+        assert not test.significant
+        assert test.t is not None and abs(test.t) < test.critical
+
+    def test_shifted_mean_significant(self):
+        test = welch_t_test(self.SAME_A, self.SHIFTED)
+        assert test.significant
+        assert abs(test.t) > test.critical
+        assert test.t < 0  # a mean is lower than b mean
+
+    def test_direction_symmetry(self):
+        fwd = welch_t_test(self.SAME_A, self.SHIFTED)
+        rev = welch_t_test(self.SHIFTED, self.SAME_A)
+        assert fwd.t == pytest.approx(-rev.t)
+        assert fwd.df == pytest.approx(rev.df)
+
+    def test_welch_df_between_min_and_pooled(self):
+        test = welch_t_test(self.SAME_A, self.SHIFTED)
+        n_a, n_b = len(self.SAME_A), len(self.SHIFTED)
+        assert min(n_a, n_b) - 1 <= test.df <= n_a + n_b - 2
+
+    def test_single_rep_not_computable(self):
+        test = welch_t_test([1.0], [2.0, 2.1, 1.9])
+        assert not test.significant
+        assert test.t is None
+        assert "not computable" in test.detail
+
+    def test_empty_side_not_computable(self):
+        test = welch_t_test([], [1.0, 2.0])
+        assert not test.significant and test.t is None
+
+    def test_zero_variance_identical_means(self):
+        test = welch_t_test([3.0, 3.0, 3.0], [3.0, 3.0])
+        assert not test.significant
+        assert "identical means" in test.detail
+
+    def test_zero_variance_distinct_means(self):
+        test = welch_t_test([3.0, 3.0, 3.0], [4.0, 4.0])
+        assert test.significant
+        assert "distinct means" in test.detail
+
+    def test_one_sided_zero_variance_still_computes(self):
+        test = welch_t_test([3.0, 3.0, 3.0], [4.0, 4.2, 3.8])
+        assert test.t is not None and test.significant
+
+    def test_result_round_trips_through_json(self):
+        d = json.loads(json.dumps(
+            welch_t_test(self.SAME_A, self.SHIFTED).as_dict()))
+        assert d["significant"] is True and d["alpha"] == 0.05
+
+
+class TestVerdict:
+    FAST = [1.00, 1.02, 0.98, 1.01, 0.99]
+    SLOW = [2.00, 2.03, 1.97, 2.01, 1.99]
+
+    def test_faster_than_reference_is_win(self):
+        v, test = verdict(self.FAST, self.SLOW)
+        assert v == "win" and test.significant
+
+    def test_slower_than_reference_is_regression(self):
+        v, test = verdict(self.SLOW, self.FAST)
+        assert v == "regression" and test.significant
+
+    def test_indistinguishable_is_inconclusive(self):
+        v, _ = verdict(self.FAST, [1.01, 0.99, 1.00, 1.02, 0.98])
+        assert v == "inconclusive"
+
+    def test_single_reference_sample_is_inconclusive(self):
+        # Old-format baselines carry one sample; no fake verdicts.
+        v, test = verdict(self.FAST, [5.0])
+        assert v == "inconclusive" and test.t is None
+
+    def test_verdict_vocabulary_is_closed(self):
+        assert set(perfstats.VERDICTS) == {
+            "win", "regression", "inconclusive"}
+
+
+class TestHistory:
+    def _payload(self):
+        return {
+            "quick": True, "reps": 5, "ok": True,
+            "geomean_speedup_vs_reference": 2.25,
+            "cells": {
+                "CP_dac_tiny": {"wall_seconds": 0.01, "reps": 5,
+                                "speedup_vs_reference": 2.5,
+                                "verdict": "win",
+                                "stats_identical": True},
+                "BP_dac_tiny": {"wall_seconds": 0.02, "reps": 5,
+                                "speedup_vs_reference": 0.9,
+                                "verdict": "regression",
+                                "stats_identical": True},
+                "SG_dac_tiny": {"wall_seconds": 0.03, "reps": 5,
+                                "speedup_vs_reference": None,
+                                "verdict": None,
+                                "stats_identical": True},
+            },
+        }
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_history.jsonl")
+        entry = perfstats.history_entry(self._payload(), str(tmp_path),
+                                        bench_file="BENCH_6.json",
+                                        now=1_754_000_000.0)
+        perfstats.append_history(path, entry)
+        perfstats.append_history(path, entry)
+        entries = perfstats.load_history(path)
+        assert len(entries) == 2
+        got = entries[0]
+        assert got["schema"] == perfstats.HISTORY_SCHEMA
+        assert got["bench_file"] == "BENCH_6.json"
+        assert got["timestamp"] == 1_754_000_000.0
+        assert got["utc"].startswith("2025-")
+        assert got["verdicts"] == {"win": 1, "regression": 1,
+                                   "inconclusive": 0, "no-reference": 1}
+        assert got["cells"]["CP_dac_tiny"]["verdict"] == "win"
+        assert got["geomean_speedup_vs_reference"] == 2.25
+        # Outside a git checkout the fingerprint degrades gracefully.
+        assert "sha" in got["git"] and "python" in got["host"]
+
+    def test_each_entry_is_one_json_line(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        entry = perfstats.history_entry(self._payload(), str(tmp_path))
+        perfstats.append_history(path, entry)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["schema"] == perfstats.HISTORY_SCHEMA
+
+    def test_load_skips_corrupt_and_blank_lines(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        entry = perfstats.history_entry(self._payload(), str(tmp_path))
+        with open(path, "w") as handle:
+            handle.write("not json{{{\n\n")
+            handle.write(json.dumps(entry) + "\n")
+            handle.write('"a bare string is not an entry"\n')
+        entries = perfstats.load_history(path)
+        assert len(entries) == 1
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert perfstats.load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_history_report_renders_trajectory(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        first = self._payload()
+        first["geomean_speedup_vs_reference"] = 1.0
+        perfstats.append_history(path, perfstats.history_entry(
+            first, str(tmp_path), now=1_753_000_000.0))
+        perfstats.append_history(path, perfstats.history_entry(
+            self._payload(), str(tmp_path), now=1_754_000_000.0))
+        report = perfstats.history_report(perfstats.load_history(path))
+        assert "perf trajectory (2 runs)" in report
+        assert "1.00x -> latest 2.25x" in report
+        assert "regression verdict(s)" in report
+
+    def test_history_report_empty_series(self):
+        assert "no perf history yet" in perfstats.history_report([])
