@@ -58,12 +58,12 @@ class CAESM(SM):
         return None
 
     def _affine_eligible(self, warp: WarpContext, inst: Instruction,
-                         mask: np.ndarray) -> bool:
+                         mask) -> bool:
         if inst.opcode not in CAE_CAPABLE_OPS:
             return False
         if inst.guard is not None:
             return False                      # no predication on affine units
-        if not np.array_equal(mask, warp.initial_mask):
+        if not warp.mask_is_initial(mask):
             return False                      # no divergence support [13]
         strides = [self._operand_stride(warp, op) for op in inst.srcs]
         if any(s is None for s in strides):
@@ -92,7 +92,7 @@ class CAESM(SM):
         return interval
 
     def on_alu_executed(self, warp: WarpContext, inst: Instruction,
-                        mask: np.ndarray) -> None:
+                        mask) -> None:
         eligible = self._affine_eligible(warp, inst, mask)
         if eligible:
             self._issued_affine = True
@@ -100,11 +100,11 @@ class CAESM(SM):
             # The affine unit computes the (base, stride) pair: roughly two
             # ALU ops instead of 32 lane ops.
             self.stats.add("cae.affine_alu_ops", 2)
-            self.stats.add("alu_ops", -int(mask.sum()) + 2)
+            self.stats.add("alu_ops", -warp.mask_count(mask) + 2)
         for dst in inst.written_regs():
             if not isinstance(dst, Register):
                 continue
-            if mask.all() or np.array_equal(mask, warp.initial_mask):
+            if warp.mask_all(mask) or warp.mask_is_initial(mask):
                 warp.cae_stride[dst.name] = _value_stride(
                     warp.regs.get(dst.name, 0.0))
             else:

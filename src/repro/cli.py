@@ -498,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-history", action="store_true",
                       help="skip appending this run to "
                            "BENCH_history.jsonl")
+    perf.add_argument("--datapath", choices=("scalar", "vector"),
+                      default="scalar",
+                      help="warp datapath to benchmark (both must "
+                           "reproduce the committed goldens "
+                           "bit-identically; recorded per cell in the "
+                           "bench JSON)")
     perf.set_defaults(func=_cmd_perf)
 
     lint = sub.add_parser(

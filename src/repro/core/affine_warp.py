@@ -293,11 +293,15 @@ class AffineCTAExec:
         warps also write their Per Warp Stack."""
         stats = self.sm.stats
         stats.add("dac.wls_writes")
-        for w in range(len(self.cta_warps)):
-            sl = slice(w * 32, (w + 1) * 32)
-            t, n = taken[sl].any(), ntaken[sl].any()
-            if t and n:
-                stats.add("dac.pws_writes")
+        # Mixed warps (some taken, some not) in one vectorized pass over the
+        # CTA-wide masks; adding the count once is exact (integer-valued
+        # float64 accumulation, same sum as per-warp increments).
+        n = len(self.cta_warps)
+        mixed = (taken[:n * 32].reshape(n, 32).any(axis=1)
+                 & ntaken[:n * 32].reshape(n, 32).any(axis=1))
+        count = int(np.count_nonzero(mixed))
+        if count:
+            stats.add("dac.pws_writes", count)
         if self.stack.depth > self.sm.config.dac.stack_depth:
             stats.add("dac.stack_overflows")
 

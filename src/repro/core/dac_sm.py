@@ -226,13 +226,8 @@ class DACSM(SM):
         inst = decoded.inst
         token = decoded.deq_token
         kind = decoded.deq_kind
-        if decoded.guard_pred is None:
-            mask = warp.stack.active_mask
-            empty = not warp.active_any()
-        else:
-            mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
-            empty = not mask.any()
-        if empty:
+        mask, active = warp.issue_mask(decoded)
+        if not active:
             # Fully predicated off: nothing was expanded for this warp, so
             # nothing is popped (matches the AEU skipping empty warps).
             self._count_issue(warp, decoded, 0)
@@ -261,11 +256,11 @@ class DACSM(SM):
             self.events.schedule(
                 now + self.config.alu_latency,
                 lambda t, w=warp, n=name: w.release(n))
-            self._count_issue(warp, decoded, int(mask.sum()))
+            self._count_issue(warp, decoded, active)
             warp.stack.pc = warp.pc + 1
             if self.trace_on:
                 self.tracer.warp_issue(now, self.index, warp.slot, inst,
-                                       int(mask.sum()),
+                                       active,
                                        self.config.issue_interval)
             return self.config.issue_interval
 
@@ -294,19 +289,20 @@ class DACSM(SM):
                 return 0
             warp.pwaq.pop()
             self._finish_deq_store(warp, inst, record, mask, now)
-        self._count_issue(warp, decoded, int(mask.sum()))
+        self._count_issue(warp, decoded, active)
         warp.stack.pc = warp.pc + 1
         if self.trace_on:
             self.tracer.dequeue(now, self.index, warp.slot, record.kind,
                                 record.queue_id)
             self.tracer.warp_issue(now, self.index, warp.slot, inst,
-                                   int(mask.sum()),
+                                   active,
                                    self.config.issue_interval)
         return self.config.issue_interval
 
     def _finish_deq_load(self, warp: WarpContext, inst: Instruction,
-                         record, mask: np.ndarray, now: int) -> None:
-        values = warp.launch.memory.load(record.addrs, mask)
+                         record, mask, now: int) -> None:
+        values = warp.launch.memory.load(record.addrs,
+                                         warp.mask_bools(mask))
         dst = inst.dsts[0]
         warp.executor.write(dst, values, mask)
         self.stats.add("dac.deq_loads")
@@ -346,14 +342,15 @@ class DACSM(SM):
         self.lsu_free = now + max(1, len(record.lines))
 
     def _finish_deq_store(self, warp: WarpContext, inst: Instruction,
-                          record, mask: np.ndarray, now: int) -> None:
+                          record, mask, now: int) -> None:
         raw = warp.executor.value(inst.srcs[0])
         values = np.broadcast_to(np.asarray(raw, dtype=np.float64),
                                  (warp.width,))
+        bools = warp.mask_bools(mask)
         if inst.opcode is Opcode.ATOM:
-            warp.launch.memory.atomic_add(record.addrs, values, mask)
+            warp.launch.memory.atomic_add(record.addrs, values, bools)
         else:
-            warp.launch.memory.store(record.addrs, values, mask)
+            warp.launch.memory.store(record.addrs, values, bools)
         self.stats.add("dac.deq_stores")
         for line in record.lines:
             self.l1.write(line, now)

@@ -207,11 +207,14 @@ class PredicateExpansionUnit(ExpansionUnit):
                 if warp.pwpq.full():
                     return False
             faults = self.sm.faults
+            # One shared uniform bit vector serves every warp's record:
+            # consumers only read it, and the fault layer copies before
+            # mutating (faults/plan.py), so aliasing is unobservable.
+            bits = np.full(32, value)
             for w, warp in enumerate(exec_.cta_warps):
                 mask = self._warp_slice(entry, w)
                 if not mask.any():
                     continue
-                bits = np.full(32, value)
                 record = PredRecord(entry.queue_id, bits, mask.copy())
                 if faults.enabled:
                     record = faults.on_pred_record(record)

@@ -184,7 +184,8 @@ def time_cell(abbr: str, technique: str, scale: str,
 
 def bench_matrix(quick: bool = False, reps: int = DEFAULT_REPS,
                  config: GPUConfig | None = None,
-                 progress=None, alpha: float = 0.05) -> dict:
+                 progress=None, alpha: float = 0.05,
+                 datapath: str = "scalar") -> dict:
     """Run the matrix; returns the ``BENCH_*.json`` payload.
 
     Every cell is simulated ``reps`` times; all samples are recorded and
@@ -193,13 +194,17 @@ def bench_matrix(quick: bool = False, reps: int = DEFAULT_REPS,
     Welch-t-tested against the reference distribution from
     ``BENCH_baseline.json`` to produce a ``win`` / ``regression`` /
     ``inconclusive`` verdict.  ``quick`` restricts the matrix to the
-    tiny-scale golden cells (the CI smoke matrix).
+    tiny-scale golden cells (the CI smoke matrix).  ``datapath`` selects
+    the warp datapath; the goldens are datapath-independent (bit-identity
+    between datapaths is itself a gate), so either setting must reproduce
+    them exactly.
     """
-    config = config or experiment_config()
+    config = (config or experiment_config()).with_datapath(datapath)
     cells = GOLDEN_MATRIX if quick else GOLDEN_MATRIX + BENCH_MATRIX
     reference = load_reference()
     out: dict = {"schema": "repro-bench/2", "quick": bool(quick),
                  "reps": int(max(1, reps)), "alpha": alpha,
+                 "datapath": config.datapath,
                  "reference_available": reference is not None,
                  "cells": {}, "mismatches": {}}
     speedups = []
@@ -232,6 +237,7 @@ def bench_matrix(quick: bool = False, reps: int = DEFAULT_REPS,
             t_test = test.as_dict()
         out["cells"][name] = {
             "cycles": result.cycles,
+            "datapath": config.datapath,
             "samples_wall_seconds": samples,
             "reps": summary.n,
             "wall_seconds": summary.mean,
@@ -289,6 +295,10 @@ def bench_report(payload: dict) -> str:
          "speedup", "verdict", "stats"],
         rows, "simulator throughput")
     lines = [table]
+    datapath = payload.get("datapath")
+    if datapath and datapath != "scalar":
+        lines.append(f"\nwarp datapath: {datapath} (goldens are "
+                     "datapath-independent)")
     if not payload.get("reference_available", True):
         lines.append(
             "\nno wall-clock reference; speedups and verdicts unavailable "
@@ -354,6 +364,7 @@ def main_perf(args) -> int:
         return 0
     payload = bench_matrix(
         quick=args.quick, reps=args.reps,
+        datapath=getattr(args, "datapath", "scalar"),
         progress=lambda done, total, name, cell: print(
             f"  [{done}/{total}] {name}: {_fmt_mean_ci(cell)}s "
             f"({cell['sim_cycles_per_second']:,.0f} cyc/s)"

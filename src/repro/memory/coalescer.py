@@ -40,10 +40,9 @@ def word_mask(line_address: int, addresses: np.ndarray,
                         == (line_address >> LINE_SHIFT))
     words = ((addresses[in_line].astype(np.int64) - line_address)
              // granularity)
-    mask = 0
-    for w in np.unique(words):
-        mask |= 1 << int(w)
-    return mask
+    # OR is idempotent, so no np.unique pass is needed; the reduce
+    # identity covers the no-active-lane case (mask 0).
+    return int(np.bitwise_or.reduce(np.int64(1) << words, initial=0))
 
 
 class CoalesceCache:
@@ -86,15 +85,15 @@ class CoalesceCache:
         pattern = self._patterns.get(key)
         if pattern is None:
             rel_lines = rel >> LINE_SHIFT
-            lines = np.unique(rel_lines)
-            masks = []
-            for line in lines:
-                offsets = rel[rel_lines == line] - (int(line) << LINE_SHIFT)
-                mask = 0
-                for w in np.unique(offsets // 4):
-                    mask |= 1 << int(w)
-                masks.append(mask)
-            pattern = (tuple(int(line) for line in lines), tuple(masks))
+            lines, inverse = np.unique(rel_lines, return_inverse=True)
+            # ``(rel >> 2) & 31`` is ``(rel mod LINE_SIZE) // 4`` — the
+            # in-line word index — and stays exact for negative ``rel``
+            # (arithmetic shift is floor division; & 31 is mod 32).
+            word_bits = np.int64(1) << ((rel >> 2) & 31)
+            masks = np.zeros(len(lines), dtype=np.int64)
+            np.bitwise_or.at(masks, inverse, word_bits)
+            pattern = (tuple(int(line) for line in lines),
+                       tuple(int(m) for m in masks))
             if len(self._patterns) >= self.MAX_PATTERNS:
                 self._patterns.clear()
             self._patterns[key] = pattern

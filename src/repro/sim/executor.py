@@ -33,8 +33,44 @@ CMP_FUNCS = {
 }
 
 
+#: int64 range endpoints exactly representable in float64: -2**63 is exact;
+#: the largest float64 *below* 2**63 is 2**63 - 1024 (53-bit mantissa).
+_INT64_MIN_F = np.float64(-(2 ** 63))
+_INT64_MAX_F = np.float64(2 ** 63 - 1024)
+
+
 def _to_int(x):
-    return np.asarray(x).astype(np.int64)
+    """float64 lanes -> int64 with *pinned* edge semantics.
+
+    A plain ``astype(np.int64)`` is C-undefined for NaN and for values
+    outside int64 range (and numpy both warns and produces a
+    platform-dependent pattern).  The datapath instead defines: NaN -> 0,
+    out-of-range -> saturate to the nearest exactly-representable int64
+    endpoint.  Integers with \\|x\\| <= 2**53 (every value the integer-exact
+    workloads produce) convert exactly, same as before.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    clipped = np.clip(arr, _INT64_MIN_F, _INT64_MAX_F)
+    if arr.ndim:
+        nan = np.isnan(arr)
+        if nan.any():
+            clipped = np.where(nan, 0.0, clipped)
+    elif np.isnan(arr):
+        clipped = np.float64(0.0)
+    return clipped.astype(np.int64)
+
+
+def _shift(a, counts, left: bool):
+    """64-bit shift with *pinned* out-of-range semantics: any shift count
+    outside [0, 64) yields 0 (a barrel shifter flushing invalid counts).
+    The C-level ``<<`` / ``>>`` is undefined there — and Python ints would
+    instead grow without bound — so the semantics are made explicit and a
+    regression test (tests/test_int_width.py) holds them in place."""
+    values = _to_int(a)
+    n = _to_int(counts)
+    safe = n & 63            # always in range for the C operator
+    shifted = (values << safe) if left else (values >> safe)
+    return np.where((n >= 0) & (n < 64), shifted, 0).astype(np.float64)
 
 
 def alu(opcode: Opcode, args: list, cmp: CmpOp | None = None):
@@ -73,9 +109,9 @@ def alu(opcode: Opcode, args: list, cmp: CmpOp | None = None):
     if opcode is Opcode.NOT:
         return (~_to_int(a)).astype(np.float64)
     if opcode is Opcode.SHL:
-        return (_to_int(a) << _to_int(args[1])).astype(np.float64)
+        return _shift(a, args[1], left=True)
     if opcode is Opcode.SHR:
-        return (_to_int(a) >> _to_int(args[1])).astype(np.float64)
+        return _shift(a, args[1], left=False)
     if opcode is Opcode.SELP:
         return np.where(args[2], a, args[1])
     if opcode is Opcode.SETP:
@@ -168,6 +204,11 @@ class WarpExecutor:
         args = [self.value(s) for s in inst.srcs]
         result = alu(inst.opcode, args, inst.cmp)
         self.write(inst.dsts[0], result, mask)
+
+    def execute_alu_decoded(self, decoded, mask: np.ndarray) -> None:
+        """Decode-cache entry point (datapath-shared issue-path surface;
+        the vector executor compiles a micro-op here)."""
+        self.execute_alu(decoded.inst, mask)
 
     def execute_load(self, inst: Instruction, mask: np.ndarray,
                      addrs: np.ndarray) -> None:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..compiler.cfg import CFG
 from ..isa import Instruction, Kernel
 from .launch import CTAState, KernelLaunch
-from .warp import WarpContext
+from .warp import WarpContext, make_warp
 
 
 @dataclass
@@ -49,11 +49,13 @@ class FunctionalInterpreter:
     """Executes kernels functionally; see module docstring."""
 
     def __init__(self, launch: KernelLaunch, trace: bool = False,
-                 max_instructions: int = 50_000_000):
+                 max_instructions: int = 50_000_000,
+                 datapath: str = "scalar"):
         self.launch = launch
         self.cfg = CFG(launch.kernel)
         self.trace = trace
         self.max_instructions = max_instructions
+        self.datapath = datapath
         self.result = FunctionalResult()
 
     def run(self) -> FunctionalResult:
@@ -65,7 +67,11 @@ class FunctionalInterpreter:
 
     def _run_cta(self, block_idx: tuple[int, int, int]) -> None:
         cta = CTAState(block_idx, self.launch)
-        warps = [WarpContext(self.launch, cta, w, w)
+        regfile = None
+        if self.datapath == "vector":
+            from .vector import VectorRegisterFile
+            regfile = VectorRegisterFile(self.launch.warps_per_block)
+        warps = [make_warp(self.launch, cta, w, w, self.datapath, regfile)
                  for w in range(self.launch.warps_per_block)]
         # Run warps round-robin in barrier-delimited phases: each warp runs
         # until it hits a barrier or exits; when all have, release and
@@ -88,49 +94,46 @@ class FunctionalInterpreter:
 
     def _run_warp_until_barrier(self, warp: WarpContext,
                                 block_idx) -> None:
-        kernel: Kernel = self.launch.kernel
         executor = warp.executor
         while not warp.done:
-            inst = kernel.instructions[warp.pc]
-            mask = executor.guard_mask(inst, warp.stack.active_mask)
-            self._count(warp, inst, mask, block_idx)
-            if inst.is_exit:
+            decoded = warp.code[warp.pc]
+            inst = decoded.inst
+            mask, active = warp.issue_mask(decoded)
+            self._count(warp, inst, active, block_idx)
+            if decoded.is_exit:
                 warp.done = True
                 return
-            if inst.is_barrier:
+            if decoded.is_barrier:
                 warp.at_barrier = True
                 return
-            if inst.is_branch:
+            if decoded.is_branch:
                 self._branch(warp, inst, mask)
                 continue
-            if inst.is_memory:
-                ref = inst.mem_ref()
-                addrs = executor.addresses(ref)
-                if inst.is_load:
+            if decoded.is_memory:
+                addrs = executor.addresses(decoded.mem_ref)
+                if decoded.is_load:
                     executor.execute_load(inst, mask, addrs)
                 else:
                     executor.execute_store(inst, mask, addrs)
             elif inst.written_regs():
-                executor.execute_alu(inst, mask)
+                executor.execute_alu_decoded(decoded, mask)
             warp.stack.pc = warp.pc + 1
 
     def _branch(self, warp: WarpContext, inst: Instruction, mask) -> None:
         target = self.launch.kernel.target_index(inst.target)
-        active = warp.stack.active_mask
         if inst.guard is None:
             warp.stack.pc = target
             return
-        taken = mask
-        ntaken = active & ~mask
-        if not ntaken.any():
+        taken, ntaken, taken_any, ntaken_any = warp.branch_split(mask)
+        if not ntaken_any:
             warp.stack.pc = target
-        elif not taken.any():
+        elif not taken_any:
             warp.stack.pc = warp.pc + 1
         else:
             rpc = self.cfg.reconvergence_pc(warp.pc)
             warp.stack.diverge(taken, ntaken, target, warp.pc + 1, rpc)
 
-    def _count(self, warp, inst, mask, block_idx) -> None:
+    def _count(self, warp, inst, active: int, block_idx) -> None:
         res = self.result
         res.instructions += 1
         if res.instructions > self.max_instructions:
@@ -140,11 +143,11 @@ class FunctionalInterpreter:
         res.per_warp[key] = res.per_warp.get(key, 0) + 1
         if self.trace:
             res.trace.append(TraceEntry(block_idx, warp.warp_in_cta,
-                                        warp.pc, inst,
-                                        int(mask.sum())))
+                                        warp.pc, inst, active))
 
 
-def run_functional(launch: KernelLaunch, trace: bool = False) \
-        -> FunctionalResult:
+def run_functional(launch: KernelLaunch, trace: bool = False,
+                   datapath: str = "scalar") -> FunctionalResult:
     """Execute a launch functionally (no timing); mutates ``launch.memory``."""
-    return FunctionalInterpreter(launch, trace=trace).run()
+    return FunctionalInterpreter(launch, trace=trace,
+                                 datapath=datapath).run()

@@ -15,7 +15,8 @@ import numpy as np
 from ..isa import Decoded, Instruction, MemSpace
 from .launch import CTAState, KernelLaunch
 from .scheduler import Scheduler
-from .warp import WarpContext
+from .vector import VectorRegisterFile
+from .warp import WarpContext, make_warp
 
 
 class SM:
@@ -35,6 +36,11 @@ class SM:
         self.coalescer = gpu.coalescer
         self.ctas: list[CTAState] = []
         self.warps: list[WarpContext] = []
+        self.datapath = self.config.datapath
+        # Vector datapath: the SM owns the pooled (slots, 32) register file
+        # its warps take row views into.
+        self._regfile = (VectorRegisterFile(self.config.warps_per_sm)
+                         if self.datapath == "vector" else None)
         # Min-heap of free hardware warp slots (list(range(n)) is already
         # heap-ordered); assignment always takes the lowest slot.
         self._free_slots = list(range(self.config.warps_per_sm))
@@ -58,7 +64,8 @@ class SM:
         self.ctas.append(cta)
         for w in range(launch.warps_per_block):
             slot = heapq.heappop(self._free_slots)
-            warp = WarpContext(launch, cta, w, slot)
+            warp = make_warp(launch, cta, w, slot, self.datapath,
+                             self._regfile)
             self.warps.append(warp)
             self.schedulers[slot % len(self.schedulers)].add_warp(warp)
         self.on_cta_assigned(cta)
@@ -158,12 +165,7 @@ class SM:
 
     def issue(self, warp: WarpContext, decoded: Decoded, now: int) -> int:
         inst = decoded.inst
-        if decoded.guard_pred is None:
-            mask = warp.stack.active_mask
-            active = warp.active_count()
-        else:
-            mask = warp.executor.guard_mask(inst, warp.stack.active_mask)
-            active = int(np.count_nonzero(mask))
+        mask, active = warp.issue_mask(decoded)
         self._count_issue(warp, decoded, active)
         warp.last_issue = now
 
@@ -235,17 +237,15 @@ class SM:
         """Hook: the AEU resumes expansion for this CTA (paper §4.2)."""
 
     def _do_branch(self, warp: WarpContext, inst: Instruction,
-                   mask: np.ndarray) -> None:
+                   mask) -> None:
         target = warp.launch.kernel.target_index(inst.target)
-        active = warp.stack.active_mask
         if inst.guard is None:
             warp.stack.pc = target
             return
-        taken = mask
-        ntaken = active & ~mask
-        if not ntaken.any():
+        taken, ntaken, taken_any, ntaken_any = warp.branch_split(mask)
+        if not ntaken_any:
             warp.stack.pc = target
-        elif not taken.any():
+        elif not taken_any:
             warp.stack.pc = warp.pc + 1
         else:
             self.stats.add("divergent_branches")
@@ -253,9 +253,9 @@ class SM:
             warp.stack.diverge(taken, ntaken, target, warp.pc + 1, rpc)
 
     def _do_alu(self, warp: WarpContext, decoded: Decoded,
-                mask: np.ndarray, now: int) -> None:
+                mask, now: int) -> None:
         inst = decoded.inst
-        warp.executor.execute_alu(inst, mask)
+        warp.executor.execute_alu_decoded(decoded, mask)
         latency = (self.config.sfu_latency if decoded.is_sfu
                    else self.config.alu_latency)
         name = decoded.dst_name
@@ -265,11 +265,11 @@ class SM:
         self.on_alu_executed(warp, inst, mask)
 
     def on_alu_executed(self, warp: WarpContext, inst: Instruction,
-                        mask: np.ndarray) -> None:
+                        mask) -> None:
         """Hook: CAE affine-tag maintenance."""
 
     def _do_memory(self, warp: WarpContext, decoded: Decoded,
-                   mask: np.ndarray, now: int) -> None:
+                   mask, now: int) -> None:
         inst = decoded.inst
         ex = warp.executor
         addrs = ex.addresses(decoded.mem_ref)
@@ -278,7 +278,7 @@ class SM:
             return
         if decoded.is_load:
             ex.execute_load(inst, mask, addrs)
-            lines = self.coalescer.lines(addrs, mask)
+            lines = self.coalescer.lines(addrs, warp.mask_bools(mask))
             self.stats.add("gmem_loads")
             self.stats.add("gmem_load_lines", len(lines))
             if not lines:
@@ -303,7 +303,7 @@ class SM:
                 self.issue_line_read(warp, inst, line, now, on_line)
         else:
             ex.execute_store(inst, mask, addrs)
-            lines = self.coalescer.lines(addrs, mask)
+            lines = self.coalescer.lines(addrs, warp.mask_bools(mask))
             self.stats.add("gmem_stores")
             self.stats.add("gmem_store_lines", len(lines))
             self.lsu_free = now + max(1, len(lines))
@@ -317,7 +317,7 @@ class SM:
         self.l1.read(line, now, callback)
 
     def _do_shared(self, warp: WarpContext, decoded: Decoded,
-                   mask: np.ndarray, addrs: np.ndarray, now: int) -> None:
+                   mask, addrs: np.ndarray, now: int) -> None:
         self.stats.add("shared_accesses")
         inst = decoded.inst
         if decoded.is_load:

@@ -1,0 +1,317 @@
+"""The vector datapath: batched numpy warp execution.
+
+Selected with ``GPUConfig.datapath = "vector"``.  Three changes over the
+scalar reference datapath (which stays the differential oracle):
+
+* **Register file** — one ``(warp_slots, 32)`` float64 bank per register
+  name, pooled per SM (:class:`VectorRegisterFile`); each warp's ``regs``
+  dict holds row views into the banks, so writeback never allocates.
+* **Masks** — uint32 bitmasks (:class:`repro.sim.simt_stack.LaneMask`)
+  throughout: guard evaluation, branch splits, and the SIMT stack
+  (:class:`repro.sim.simt_stack.VectorSIMTStack`) are integer bit
+  operations; the bool lane vector is materialized lazily only when the
+  memory system needs fancy indexing.  Predicates are stored as bitmask
+  integers, packed/unpacked at the SETP/SELP boundaries.
+* **Compiled micro-ops** — each static ALU instruction is compiled once
+  (``Decoded.vop``) into a closure of pre-resolved operand fetchers around
+  the *shared* :func:`repro.sim.executor.alu` kernel, eliminating the
+  per-issue isinstance chains.
+
+Bit-identity with the scalar datapath is a hard requirement: identical
+float64 ufuncs in identical order, popcounts in place of bool reductions,
+and masked blends expressed as exact bitwise equivalents.  The test suite
+enforces it (``tests/test_differential_fuzz.py`` three-way oracle,
+``tests/test_property_vector_ops.py`` per-primitive proofs, and the golden
+Stats matrix run under both datapaths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import (
+    Immediate,
+    Instruction,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Param,
+    PredReg,
+    Register,
+    SpecialReg,
+)
+from .executor import alu
+from .launch import CTAState, KernelLaunch
+from .simt_stack import FULL_MASK, LaneMask, VectorSIMTStack, pack_mask, \
+    unpack_mask
+from .warp import WarpContext
+
+
+class VectorRegisterFile:
+    """Pooled register storage: one ``(slots, 32)`` float64 bank per
+    register name, created zeroed on first touch (matching the scalar
+    datapath's lazy-zero registers).  Warp slots are recycled across CTAs;
+    :meth:`reset_slot` re-zeroes a slot's rows on reassignment."""
+
+    __slots__ = ("slots", "width", "_banks")
+
+    def __init__(self, slots: int, width: int = 32):
+        self.slots = slots
+        self.width = width
+        self._banks: dict[str, np.ndarray] = {}
+
+    def row(self, name: str, slot: int) -> np.ndarray:
+        bank = self._banks.get(name)
+        if bank is None:
+            bank = self._banks[name] = np.zeros((self.slots, self.width),
+                                                dtype=np.float64)
+        return bank[slot]
+
+    def reset_slot(self, slot: int) -> None:
+        for bank in self._banks.values():
+            bank[slot, :] = 0.0
+
+
+class VectorWarpContext(WarpContext):
+    """Warp state on the vector datapath: bitmask SIMT stack, register row
+    views, predicate bitmasks."""
+
+    datapath = "vector"
+
+    __slots__ = ("regfile", "initial_bits")
+
+    def __init__(self, launch: KernelLaunch, cta: CTAState,
+                 warp_in_cta: int, slot: int, width: int = 32,
+                 regfile: VectorRegisterFile | None = None):
+        if width != 32:
+            raise ValueError("the vector datapath is 32-lane only")
+        self.regfile = regfile if regfile is not None \
+            else VectorRegisterFile(slot + 1, width)
+        super().__init__(launch, cta, warp_in_cta, slot, width)
+
+    def _init_datapath(self) -> None:
+        self.initial_bits = pack_mask(self.initial_mask)
+        self.stack = VectorSIMTStack(self.initial_bits)
+        self.regs: dict[str, np.ndarray] = {}     # name -> (32,) row view
+        self.preds: dict[str, int] = {}           # name -> uint32 bitmask
+        self.executor = VectorWarpExecutor(self)
+        self.regfile.reset_slot(self.slot)
+
+    # ---- mask facts (O(1) on bitmasks) ----------------------------------
+
+    def active_any(self) -> bool:
+        return self.stack.top_bits != 0
+
+    def active_all(self) -> bool:
+        return self.stack.top_bits == FULL_MASK
+
+    def active_count(self) -> int:
+        return self.stack.top_bits.bit_count()
+
+    # ---- datapath-agnostic mask API -------------------------------------
+
+    def issue_mask(self, decoded):
+        guard = decoded.guard_pred
+        if guard is None:
+            mask = self.stack.active
+            return mask, mask.bits.bit_count()
+        pred = self.preds.get(guard.name, 0)
+        if decoded.guard_negated:
+            pred ^= FULL_MASK
+        bits = self.stack.top_bits & pred
+        return LaneMask(bits), bits.bit_count()
+
+    def mask_count(self, mask: LaneMask) -> int:
+        return mask.bits.bit_count()
+
+    def mask_any(self, mask: LaneMask) -> bool:
+        return mask.bits != 0
+
+    def mask_all(self, mask: LaneMask) -> bool:
+        return mask.bits == FULL_MASK
+
+    def mask_bools(self, mask: LaneMask) -> np.ndarray:
+        return mask.bools()
+
+    def mask_is_initial(self, mask: LaneMask) -> bool:
+        return mask.bits == self.initial_bits
+
+    def branch_split(self, mask: LaneMask):
+        ntaken = self.stack.top_bits & ~mask.bits
+        return mask, LaneMask(ntaken), mask.bits != 0, ntaken != 0
+
+
+class VectorWarpExecutor:
+    """Executes instructions for one vector-datapath warp.
+
+    Mirrors :class:`repro.sim.executor.WarpExecutor`'s surface, with
+    :class:`LaneMask` masks.  ALU work routes through the shared
+    :func:`repro.sim.executor.alu` kernel so both datapaths compute every
+    float64 result with the same ufuncs in the same order."""
+
+    __slots__ = ("warp",)
+
+    def __init__(self, warp: VectorWarpContext):
+        self.warp = warp
+
+    # ---- operand access ------------------------------------------------
+
+    def reg(self, name: str) -> np.ndarray:
+        warp = self.warp
+        row = warp.regs.get(name)
+        if row is None:
+            row = warp.regs[name] = warp.regfile.row(name, warp.slot)
+        return row
+
+    def pred_bools(self, name: str) -> np.ndarray:
+        return unpack_mask(self.warp.preds.get(name, 0))
+
+    def value(self, op):
+        warp = self.warp
+        if isinstance(op, Register):
+            return self.reg(op.name)
+        if isinstance(op, Immediate):
+            return op.value
+        if isinstance(op, Param):
+            return warp.launch.params[op.name]
+        if isinstance(op, SpecialReg):
+            return warp.special(op.family, op.dim)
+        if isinstance(op, PredReg):
+            return self.pred_bools(op.name)
+        raise TypeError(f"cannot evaluate operand {op!r}")
+
+    def addresses(self, ref: MemRef) -> np.ndarray:
+        base = self.value(ref.address)
+        addrs = np.asarray(base + ref.displacement, dtype=np.float64)
+        if addrs.ndim == 0:
+            addrs = np.full(self.warp.width, float(addrs))
+        return addrs
+
+    # ---- writeback -----------------------------------------------------
+
+    def write(self, dst, values, mask: LaneMask) -> None:
+        if isinstance(dst, PredReg):
+            self.write_pred(dst.name, values, mask)
+        else:
+            self.write_reg(dst.name, values, mask)
+
+    def write_reg(self, name: str, values, mask: LaneMask) -> None:
+        current = self.reg(name)
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.shape != (32,):
+            vals = np.broadcast_to(vals, (32,))
+        if mask.bits == FULL_MASK:
+            current[:] = vals
+        else:
+            # Elementwise masked copy: exact equivalent of the scalar
+            # datapath's current[mask] = vals[mask].
+            np.copyto(current, vals, where=mask.bools())
+
+    def write_pred(self, name: str, values, mask: LaneMask) -> None:
+        vals = np.asarray(values, dtype=bool)
+        if vals.shape != (32,):
+            vals = np.broadcast_to(vals, (32,))
+        vbits = pack_mask(vals)
+        preds = self.warp.preds
+        bits = mask.bits
+        preds[name] = (preds.get(name, 0) & ~bits & FULL_MASK) \
+            | (vbits & bits)
+
+    # ---- guards --------------------------------------------------------
+
+    def guard_mask(self, inst: Instruction, base: LaneMask) -> LaneMask:
+        guard = inst.guard
+        if isinstance(guard, PredReg):
+            pred = self.warp.preds.get(guard.name, 0)
+            if inst.guard_negated:
+                pred ^= FULL_MASK
+            return LaneMask(base.bits & pred)
+        return base
+
+    # ---- instruction execution -----------------------------------------
+
+    def execute_alu_decoded(self, decoded, mask: LaneMask) -> None:
+        vop = decoded.vop
+        if vop is None:
+            vop = decoded.vop = _compile_alu(decoded.inst)
+        vop(self, mask)
+
+    def execute_alu(self, inst: Instruction, mask: LaneMask) -> None:
+        args = [self.value(s) for s in inst.srcs]
+        result = alu(inst.opcode, args, inst.cmp)
+        self.write(inst.dsts[0], result, mask)
+
+    def execute_load(self, inst: Instruction, mask: LaneMask,
+                     addrs: np.ndarray) -> None:
+        warp = self.warp
+        bools = mask.bools()
+        if inst.space is MemSpace.SHARED:
+            vals = np.zeros(warp.width, dtype=np.float64)
+            idx = addrs[bools].astype(np.int64) // 4
+            vals[bools] = warp.cta.shared[idx]
+        else:
+            vals = warp.launch.memory.load(addrs, bools)
+        self.write(inst.dsts[0], vals, mask)
+
+    def execute_store(self, inst: Instruction, mask: LaneMask,
+                      addrs: np.ndarray) -> None:
+        warp = self.warp
+        bools = mask.bools()
+        raw = self.value(inst.srcs[0])
+        vals = np.broadcast_to(np.asarray(raw, dtype=np.float64),
+                               (warp.width,))
+        if inst.space is MemSpace.SHARED:
+            idx = addrs[bools].astype(np.int64) // 4
+            if inst.opcode is Opcode.ATOM:
+                np.add.at(warp.cta.shared, idx, vals[bools])
+            else:
+                warp.cta.shared[idx] = vals[bools]
+        elif inst.opcode is Opcode.ATOM:
+            warp.launch.memory.atomic_add(addrs, vals, bools)
+        else:
+            warp.launch.memory.store(addrs, vals, bools)
+
+
+# ---- micro-op compilation ------------------------------------------------
+
+def _compile_fetch(op):
+    """An operand -> a fetch closure over the executor (resolved once per
+    static instruction instead of per dynamic issue)."""
+    if isinstance(op, Register):
+        name = op.name
+        return lambda ex: ex.reg(name)
+    if isinstance(op, Immediate):
+        value = op.value
+        return lambda ex: value
+    if isinstance(op, Param):
+        name = op.name
+        return lambda ex: ex.warp.launch.params[name]
+    if isinstance(op, SpecialReg):
+        family, dim = op.family, op.dim
+        return lambda ex: ex.warp.special(family, dim)
+    if isinstance(op, PredReg):
+        name = op.name
+        return lambda ex: ex.pred_bools(name)
+    raise TypeError(f"cannot compile operand fetch for {op!r}")
+
+
+def _compile_alu(inst: Instruction):
+    """Compile one static ALU/SFU instruction into a ``(executor, mask)``
+    closure.  The arithmetic itself stays in the shared :func:`alu` kernel
+    — compilation only pre-resolves operand fetches and the destination."""
+    fetchers = tuple(_compile_fetch(op) for op in inst.srcs)
+    opcode = inst.opcode
+    cmp = inst.cmp
+    dst = inst.dsts[0]
+    name = dst.name
+    if isinstance(dst, PredReg):
+        def run(ex: VectorWarpExecutor, mask: LaneMask,
+                _fetch=fetchers) -> None:
+            ex.write_pred(name, alu(opcode, [f(ex) for f in _fetch], cmp),
+                          mask)
+    else:
+        def run(ex: VectorWarpExecutor, mask: LaneMask,
+                _fetch=fetchers) -> None:
+            ex.write_reg(name, alu(opcode, [f(ex) for f in _fetch], cmp),
+                         mask)
+    return run

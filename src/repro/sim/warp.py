@@ -16,7 +16,16 @@ class WarpContext:
     The scoreboard is a per-register count of outstanding writes; an
     instruction may issue only when every register it reads or writes has a
     zero count (in-order issue, stall-on-use).
+
+    This class is the **scalar datapath** (the differential oracle).  The
+    vector datapath subclasses it (:class:`repro.sim.vector
+    .VectorWarpContext`), overriding ``_init_datapath`` and the mask helper
+    API below; the technique layers (SM/DACSM/CAESM, functional
+    interpreter) only manipulate masks through that API, so they stay
+    datapath-agnostic.
     """
+
+    datapath = "scalar"
 
     __slots__ = (
         "launch", "cta", "warp_in_cta", "slot", "width", "tx", "ty", "tz",
@@ -42,19 +51,24 @@ class WarpContext:
         self.tx = (linear % bx).astype(np.float64)
         self.ty = ((linear // bx) % by).astype(np.float64)
         self.tz = (linear // (bx * by)).astype(np.float64)
-        self.stack = SIMTStack(self.initial_mask)
-        self.regs: dict[str, np.ndarray] = {}
-        self.preds: dict[str, np.ndarray] = {}
         self.pending: dict[str, int] = {}
         self.mem_pending = 0                # outstanding load instructions
         self.done = False
         self.at_barrier = False
-        self.executor = WarpExecutor(self)
         self.cae_stride: dict[str, float | None] = {}
         self.last_issue = 0
         self.code = decoded_of(launch.kernel)
         self.sched = None
         self._mask_any = None
+        self._init_datapath()
+
+    def _init_datapath(self) -> None:
+        """Create the datapath-specific state: stack, register storage,
+        predicate storage, executor.  Overridden by the vector datapath."""
+        self.stack = SIMTStack(self.initial_mask)
+        self.regs: dict[str, np.ndarray] = {}
+        self.preds: dict[str, np.ndarray] = {}
+        self.executor = WarpExecutor(self)
 
     # ---- geometry --------------------------------------------------------
 
@@ -142,3 +156,51 @@ class WarpContext:
         if cached is not None and cached[0] is mask:
             return cached[3]
         return self._mask_facts(mask)[3]
+
+    # ---- datapath-agnostic mask API -------------------------------------
+    #
+    # Masks are opaque to the technique layers: bool arrays on the scalar
+    # datapath, LaneMask bitmasks on the vector one.  Everything a timing
+    # model asks about a mask goes through these helpers.
+
+    def issue_mask(self, decoded):
+        """(mask, active-lane count) for issuing ``decoded`` now: the
+        top-of-stack mask with the guard predicate applied."""
+        if decoded.guard_pred is None:
+            return self.stack.active_mask, self.active_count()
+        mask = self.executor.guard_mask(decoded.inst,
+                                        self.stack.active_mask)
+        return mask, int(np.count_nonzero(mask))
+
+    def mask_count(self, mask) -> int:
+        return int(np.count_nonzero(mask))
+
+    def mask_any(self, mask) -> bool:
+        return bool(mask.any())
+
+    def mask_all(self, mask) -> bool:
+        return bool(mask.all())
+
+    def mask_bools(self, mask) -> np.ndarray:
+        """The mask as a bool lane vector (for fancy indexing)."""
+        return mask
+
+    def mask_is_initial(self, mask) -> bool:
+        return bool(np.array_equal(mask, self.initial_mask))
+
+    def branch_split(self, mask):
+        """(taken, ntaken, taken_any, ntaken_any) for a guarded branch:
+        ``mask`` is the guard-applied taken set, ``ntaken`` the remaining
+        active lanes."""
+        ntaken = self.stack.active_mask & ~mask
+        return mask, ntaken, bool(mask.any()), bool(ntaken.any())
+
+
+def make_warp(launch: KernelLaunch, cta: CTAState, warp_in_cta: int,
+              slot: int, datapath: str = "scalar", regfile=None):
+    """Construct a warp context for the requested datapath."""
+    if datapath == "vector":
+        from .vector import VectorWarpContext
+        return VectorWarpContext(launch, cta, warp_in_cta, slot,
+                                 regfile=regfile)
+    return WarpContext(launch, cta, warp_in_cta, slot)

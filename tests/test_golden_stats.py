@@ -25,6 +25,11 @@ from repro.trace import STALL_REASONS, stall_buckets
 
 CONFIG = experiment_config()
 
+#: Both warp datapaths must reproduce the *same* committed goldens: the
+#: goldens are a property of the timing model, and the vector datapath is
+#: required to be bit-identical to the scalar oracle.
+DATAPATHS = ("scalar", "vector")
+
 
 def _assert_matches_golden(result, name):
     golden = load_golden(name)
@@ -34,18 +39,22 @@ def _assert_matches_golden(result, name):
     assert not diff, "Stats diverged from golden:\n" + "\n".join(diff)
 
 
+@pytest.mark.parametrize("datapath", DATAPATHS)
 @pytest.mark.parametrize("abbr,technique,scale", GOLDEN_MATRIX,
                          ids=[golden_name(*cell) for cell in GOLDEN_MATRIX])
-def test_matrix_cell_matches_golden(abbr, technique, scale):
-    result = run_cell(abbr, technique, scale, CONFIG)
+def test_matrix_cell_matches_golden(abbr, technique, scale, datapath):
+    result = run_cell(abbr, technique, scale,
+                      CONFIG.with_datapath(datapath))
     _assert_matches_golden(result, golden_name(abbr, technique, scale))
 
 
-def test_traced_run_matches_golden_and_keeps_stall_invariant():
+@pytest.mark.parametrize("datapath", DATAPATHS)
+def test_traced_run_matches_golden_and_keeps_stall_invariant(datapath):
     """Tracing must not perturb timing, and the stall-attribution buckets
     must still sum to exactly one entry per scheduler slot per cycle."""
     abbr, technique, scale = TRACED_GOLDEN
-    result = run_cell(abbr, technique, scale, CONFIG, trace=True)
+    result = run_cell(abbr, technique, scale,
+                      CONFIG.with_datapath(datapath), trace=True)
     _assert_matches_golden(
         result, "traced_" + golden_name(abbr, technique, scale))
     buckets = stall_buckets(result.stats)
@@ -69,11 +78,13 @@ def test_traced_equals_untraced():
     assert not diff, "tracing changed timing:\n" + "\n".join(diff)
 
 
-def test_fault_injected_run_matches_golden():
+@pytest.mark.parametrize("datapath", DATAPATHS)
+def test_fault_injected_run_matches_golden(datapath):
     abbr, technique, scale = FAULT_GOLDEN
     plan = FaultPlan(specs=(FaultSpec("expand_delay", 0, 4),
                             FaultSpec("dram_delay", 0, 8)))
-    result = run_cell(abbr, technique, scale, CONFIG,
+    result = run_cell(abbr, technique, scale,
+                      CONFIG.with_datapath(datapath),
                       faults=FaultInjector(plan), checkers=RuntimeCheckers())
     _assert_matches_golden(
         result, "fault_" + golden_name(abbr, technique, scale))

@@ -1,0 +1,140 @@
+"""Int-width audit regression tests (pinned integer edge semantics).
+
+The datapath does integer work (bitwise ops, shifts, address math) on
+float64 lane values converted through ``repro.sim.executor._to_int``.
+Three places where Python-int semantics, numpy-int64 semantics, and C
+undefined behaviour could silently disagree are pinned explicitly, and
+each pin has a regression test here:
+
+1. **Shift counts outside [0, 64)** — C's ``<<``/``>>`` is undefined
+   there (numpy happened to give 0 on this platform), while Python ints
+   would grow without bound.  Pinned: the result is 0, like a barrel
+   shifter flushing invalid counts (``executor._shift``).
+2. **float64 -> int64 overflow** — ``astype(np.int64)`` of NaN or
+   out-of-range values warns and produces a platform-dependent pattern.
+   Pinned: NaN -> 0, overflow saturates to the nearest exactly
+   representable int64 endpoint (-2**63 and 2**63 - 1024).
+3. **In-range conversions stay exact** — every integer with
+   \\|x\\| <= 2**53 converts exactly (the fuzz generator and workloads are
+   integer-exact by construction, so goldens are unaffected by pins 1-2).
+
+The affine stream's ``shl`` (``AffineTuple.shl``) only ever sees scalar,
+in-range amounts (the lattice rejects non-scalar shift amounts), where it
+agrees with the pinned datapath semantics — also tested below.
+
+Address-path casts (``addresses[mask].astype(np.int64)`` in the executor
+and coalescer) are *not* clipped: addresses are bounded by the memory
+image size, and an out-of-range address is a workload bug that the
+memory system's bounds checks surface directly.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.affine.tuples import AffineTuple
+from repro.isa import CmpOp, Opcode
+from repro.sim.executor import _to_int, alu
+
+INT64_MIN = -(2 ** 63)
+SAT_MAX = 2 ** 63 - 1024          # largest float64 below 2**63
+
+
+def lanes(*values):
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestShiftSemantics:
+    @pytest.mark.parametrize("count", [64, 65, 100, 1000])
+    def test_shl_count_at_least_64_is_zero(self, count):
+        out = alu(Opcode.SHL, [lanes(1, 3, -5), lanes(count, count, count)])
+        assert out.tolist() == [0.0, 0.0, 0.0]
+        # Python ints would instead produce huge values — the simulator
+        # deliberately diverges from that (64-bit datapath, not bignum).
+        assert (3 << count) != 0
+
+    @pytest.mark.parametrize("count", [-1, -64, -1000])
+    def test_negative_shift_count_is_zero(self, count):
+        assert alu(Opcode.SHL, [lanes(7), lanes(count)]).tolist() == [0.0]
+        assert alu(Opcode.SHR, [lanes(7), lanes(count)]).tolist() == [0.0]
+
+    @pytest.mark.parametrize("count", [64, 100])
+    def test_shr_count_at_least_64_is_zero(self, count):
+        # Pinned to 0 even for negative values (Python would give -1).
+        out = alu(Opcode.SHR, [lanes(7, -7), lanes(count, count)])
+        assert out.tolist() == [0.0, 0.0]
+        assert (-7 >> count) == -1
+
+    def test_in_range_shifts_match_python(self):
+        values = lanes(1, -8, 12345, 0)
+        counts = lanes(0, 3, 13, 63)
+        shl = alu(Opcode.SHL, [values, counts])
+        shr = alu(Opcode.SHR, [values, counts])
+        for v, c, left, right in zip(values, counts, shl, shr):
+            # In range, int64 and Python agree (int64 << wraps mod 2**64,
+            # but these products stay well inside the representable span).
+            assert left == float(np.int64(int(v) << int(c)))
+            assert right == float(int(v) >> int(c))
+
+    def test_mixed_lane_counts(self):
+        """Valid and invalid counts in the same warp: only the invalid
+        lanes flush to zero."""
+        out = alu(Opcode.SHL, [lanes(1, 1, 1), lanes(4, 64, -2)])
+        assert out.tolist() == [16.0, 0.0, 0.0]
+
+
+class TestFloatToIntConversion:
+    def test_nan_is_zero(self):
+        assert _to_int(lanes(np.nan, 1.0)).tolist() == [0, 1]
+        assert int(_to_int(np.float64("nan"))) == 0
+
+    def test_overflow_saturates(self):
+        out = _to_int(lanes(1e300, -1e300, np.inf, -np.inf))
+        assert out.tolist() == [SAT_MAX, INT64_MIN, SAT_MAX, INT64_MIN]
+
+    def test_no_runtime_warning_on_edges(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _to_int(lanes(np.nan, np.inf, -np.inf, 1e300, 0.0))
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2 ** 53, -(2 ** 53),
+                                       2 ** 40 + 12345])
+    def test_exact_in_integer_range(self, value):
+        assert int(_to_int(np.float64(value))) == value
+
+    def test_bitwise_ops_match_python_in_range(self):
+        """AND/OR/XOR/NOT over int64 == Python arbitrary precision for
+        in-range values, including negatives (two's complement)."""
+        a = lanes(0b1100, -0b1010, 2 ** 50, -1)
+        b = lanes(0b1010, 0b0110, 1, 0)
+        for opcode, pyop in [(Opcode.AND, lambda x, y: x & y),
+                             (Opcode.OR, lambda x, y: x | y),
+                             (Opcode.XOR, lambda x, y: x ^ y)]:
+            out = alu(opcode, [a, b])
+            expect = [float(pyop(int(x), int(y))) for x, y in zip(a, b)]
+            assert out.tolist() == expect
+        assert alu(Opcode.NOT, [a]).tolist() \
+            == [float(~int(x)) for x in a]
+
+
+class TestAffineShiftAgreement:
+    @pytest.mark.parametrize("amount", [0, 1, 4, 10])
+    def test_affine_shl_matches_datapath(self, amount):
+        """The affine stream evaluates shl as a scale by ``2**amount``;
+        for the in-range scalar amounts the lattice admits, that equals
+        the pinned SIMT shift exactly."""
+        tx = np.arange(32, dtype=np.float64)
+        tup = AffineTuple(8.0, (4.0, 0.0, 0.0))   # 8 + 4*tx
+        shifted = tup.shl(AffineTuple(float(amount)))
+        values = shifted.evaluate(tx, np.zeros(32), np.zeros(32))
+        expect = alu(Opcode.SHL, [8.0 + 4.0 * tx, np.full(32, amount,
+                                                          dtype=np.float64)])
+        assert np.array_equal(values, expect)
+
+
+def test_setp_comparison_unaffected_by_pins():
+    """SETP compares float64 directly (no int conversion) — the audit's
+    pins must not leak into predicate computation."""
+    out = alu(Opcode.SETP, [lanes(1, 2, 3), lanes(2, 2, 2)], CmpOp.LT)
+    assert out.tolist() == [True, False, False]

@@ -1,0 +1,238 @@
+"""Property tests: vector-datapath primitives vs scalar lane-loop oracles.
+
+Each property pins one bit-identity equivalence the vector datapath relies
+on (see ``repro/sim/vector.py``'s module docstring): masked register
+writeback, predicate-bitmask blends, guard evaluation, SIMT-stack
+push/pop mask algebra, and the coalescer's vectorized line/word-mask
+derivation.  The scalar side of every comparison is written as the naive
+per-lane loop (or the pinned scalar class), so a hypothesis failure here
+localizes a divergence to a single primitive instead of a whole
+simulation.
+
+All-inactive and single-lane masks are explicitly covered via
+``@example``; hypothesis shrinks toward them anyway, but the paper cases
+(fully-predicated-off warps, one-thread tails) must never rot out of the
+corpus.
+"""
+
+import numpy as np
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.memory.coalescer import (
+    CoalesceCache,
+    coalesce,
+    word_mask,
+)
+from repro.sim.simt_stack import (
+    FULL_MASK,
+    LaneMask,
+    SIMTStack,
+    VectorSIMTStack,
+    pack_mask,
+    unpack_mask,
+)
+
+# ---- strategies -----------------------------------------------------------
+
+lane_bools = st.lists(st.booleans(), min_size=32, max_size=32).map(
+    lambda bs: np.asarray(bs, dtype=bool))
+lane_bits = st.integers(min_value=0, max_value=FULL_MASK)
+lane_floats = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=32, max_size=32).map(lambda xs: np.asarray(xs,
+                                                        dtype=np.float64))
+# Word-aligned byte addresses spanning several cache lines, including
+# patterns whose first active lane is *not* the lowest line (negative
+# relative offsets inside CoalesceCache._pattern).
+lane_addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 20).map(lambda w: w * 4),
+    min_size=32, max_size=32).map(lambda xs: np.asarray(xs,
+                                                        dtype=np.float64))
+
+ALL_OFF = np.zeros(32, dtype=bool)
+ALL_ON = np.ones(32, dtype=bool)
+ONE_LANE = np.eye(1, 32, 17, dtype=bool)[0]
+
+
+# ---- pack/unpack ----------------------------------------------------------
+
+@given(lane_bools)
+@example(ALL_OFF)
+@example(ALL_ON)
+@example(ONE_LANE)
+def test_pack_unpack_roundtrip(mask):
+    assert np.array_equal(unpack_mask(pack_mask(mask)), mask)
+
+
+@given(lane_bits)
+@example(0)
+@example(FULL_MASK)
+@example(1 << 31)
+def test_unpack_pack_roundtrip(bits):
+    assert pack_mask(unpack_mask(bits)) == bits
+
+
+@given(lane_bools)
+@example(ALL_OFF)
+@example(ALL_ON)
+@example(ONE_LANE)
+def test_lanemask_facts_match_bool_reductions(mask):
+    lm = LaneMask(pack_mask(mask))
+    assert lm.any() == bool(mask.any())
+    assert lm.all() == bool(mask.all())
+    assert lm.count() == int(np.count_nonzero(mask))
+
+
+# ---- masked writeback -----------------------------------------------------
+
+@given(lane_floats, lane_floats, lane_bools)
+@example(np.zeros(32), np.ones(32), ALL_OFF)
+@example(np.zeros(32), np.ones(32), ALL_ON)
+@example(np.zeros(32), np.ones(32), ONE_LANE)
+def test_masked_register_writeback(current, vals, mask):
+    """``np.copyto(where=)`` (vector) == ``current[mask] = vals[mask]``
+    (scalar), and the full-mask fast path is a plain copy."""
+    scalar = current.copy()
+    scalar[mask] = vals[mask]
+    vector = current.copy()
+    bits = pack_mask(mask)
+    if bits == FULL_MASK:
+        vector[:] = vals
+    else:
+        np.copyto(vector, vals, where=mask)
+    assert np.array_equal(scalar, vector)
+
+
+@given(lane_bits, lane_bools, lane_bools)
+@example(0, ALL_ON, ALL_OFF)
+@example(FULL_MASK, ALL_OFF, ALL_ON)
+@example(0x12345678, ONE_LANE, ONE_LANE)
+def test_masked_predicate_writeback(old_bits, vals, mask):
+    """The bitwise blend ``(old & ~m) | (new & m)`` == boolean masked
+    assignment on the unpacked predicate."""
+    scalar = unpack_mask(old_bits).copy()
+    scalar[mask] = vals[mask]
+    mbits = pack_mask(mask)
+    vbits = pack_mask(vals)
+    vector_bits = (old_bits & ~mbits & FULL_MASK) | (vbits & mbits)
+    assert vector_bits == pack_mask(scalar)
+
+
+# ---- guard evaluation -----------------------------------------------------
+
+@given(lane_bools, lane_bits, st.booleans())
+@example(ALL_ON, 0, False)
+@example(ALL_OFF, FULL_MASK, True)
+@example(ONE_LANE, FULL_MASK, True)
+def test_guard_evaluation(active, pred_bits, negated):
+    """Bitmask guard application == bool-array guard application."""
+    pred = unpack_mask(pred_bits)
+    scalar = active & (~pred if negated else pred)
+    vbits = pred_bits ^ FULL_MASK if negated else pred_bits
+    vector = pack_mask(active) & vbits
+    assert vector == pack_mask(scalar)
+
+
+@given(lane_bools, lane_bools)
+@example(ALL_ON, ALL_OFF)
+@example(ALL_ON, ALL_ON)
+@example(ONE_LANE, ONE_LANE)
+def test_branch_split(active, guard):
+    """``active & ~taken`` over bits == over bool arrays, along with the
+    any() questions the issue path asks."""
+    taken_s = active & guard
+    ntaken_s = active & ~taken_s
+    abits = pack_mask(active)
+    tbits = abits & pack_mask(guard)
+    nbits = abits & ~tbits
+    assert tbits == pack_mask(taken_s)
+    assert nbits == pack_mask(ntaken_s)
+    assert (tbits != 0) == bool(taken_s.any())
+    assert (nbits != 0) == bool(ntaken_s.any())
+
+
+# ---- SIMT stack mask algebra ---------------------------------------------
+
+stack_ops = st.lists(
+    st.tuples(
+        lane_bools,                                  # branch guard
+        st.integers(min_value=0, max_value=9),       # target pc
+        st.integers(min_value=0, max_value=9),       # fallthrough pc
+        st.integers(min_value=0, max_value=9),       # rpc
+        st.integers(min_value=0, max_value=9),       # next pc assignment
+    ),
+    min_size=0, max_size=12)
+
+
+@given(lane_bools, stack_ops)
+@example(ALL_ON, [(ONE_LANE, 3, 1, 5, 5)])
+@example(ONE_LANE, [(ALL_OFF, 2, 1, 4, 4)])
+def test_stack_pair_random_walk(initial, ops):
+    """Drive a scalar and a vector SIMT stack through the same sequence of
+    diverge / pc-assignment operations; every observable (top mask, pc,
+    depth, max depth) must stay identical at every step.
+
+    Mirrors how the timing models use the stacks: a guarded branch splits
+    the current active set, both sides non-empty -> diverge; afterwards
+    the pc setter walks to the next instruction (popping when it lands on
+    an RPC)."""
+    scalar = SIMTStack(initial)
+    vector = VectorSIMTStack(pack_mask(initial))
+    for guard, target, fallthrough, rpc, next_pc in ops:
+        active_s = scalar.active_mask
+        taken_s = active_s & guard
+        ntaken_s = active_s & ~taken_s
+        abits = vector.top_bits
+        tbits = abits & pack_mask(guard)
+        nbits = abits & ~tbits
+        assert pack_mask(active_s) == abits
+        if taken_s.any() and ntaken_s.any():
+            scalar.diverge(taken_s, ntaken_s, target, fallthrough, rpc)
+            vector.diverge(tbits, nbits, target, fallthrough, rpc)
+        else:
+            scalar.pc = next_pc
+            vector.pc = next_pc
+        assert pack_mask(scalar.active_mask) == vector.top_bits
+        assert scalar.pc == vector.pc
+        assert scalar.depth == vector.depth
+        assert scalar.max_depth == vector.max_depth
+
+
+# ---- coalescer ------------------------------------------------------------
+
+@given(lane_addresses, lane_bools)
+@example(np.zeros(32), ALL_OFF)
+@example(np.arange(32) * 4.0, ALL_ON)
+@example(np.arange(32) * 4.0, ONE_LANE)
+@example(np.full(32, 4096.0), ALL_ON)
+@settings(max_examples=200)
+def test_coalesce_cache_matches_lane_loop(addresses, active):
+    """``CoalesceCache`` (vectorized, memoized) == the uncached module
+    functions, for both the line list and every per-line word mask."""
+    cache = CoalesceCache()
+    expect_lines = coalesce(addresses, active)
+    got_lines = cache.lines(addresses, active)
+    assert got_lines == expect_lines
+    lines2, masks = cache.lines_and_masks(addresses, active)
+    assert lines2 == expect_lines
+    assert masks == [word_mask(line, addresses, active)
+                     for line in expect_lines]
+    # Second query must hit the memo table and still agree.
+    assert cache.lines_and_masks(addresses, active) == (lines2, masks)
+
+
+@given(lane_addresses, lane_bools)
+@example(np.arange(32)[::-1] * 4.0, ALL_ON)   # descending: negative rel
+def test_word_mask_reference_loop(addresses, active):
+    """The vectorized :func:`word_mask` == the naive per-lane OR loop."""
+    for line in coalesce(addresses, active):
+        expect = 0
+        for lane in range(32):
+            if not active[lane]:
+                continue
+            addr = int(addresses[lane])
+            if (addr >> 7) == (line >> 7):
+                expect |= 1 << ((addr - line) // 4)
+        assert word_mask(line, addresses, active) == expect
