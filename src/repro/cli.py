@@ -23,7 +23,11 @@ Commands:
   (``--history`` summarizes the trajectory);
 * ``lint`` — static diagnostics (``RPL0xx``) over benchmarks or an
   assembly file; ``--campaign`` differentially validates every diagnostic
-  class against the simulator.
+  class against the simulator;
+* ``serve`` — the supervised experiment daemon: journaled jobs over a
+  unix socket, worker heartbeats + watchdog respawn, per-workload
+  circuit breakers, graceful drain; simulating commands route through a
+  running daemon automatically (``--service``/``--no-service``).
 """
 
 from __future__ import annotations
@@ -88,6 +92,17 @@ def _add_harness_args(parser) -> None:
     parser.add_argument("--checkpoint", default=None, metavar="DIR",
                         help="persist finished grid cells under DIR and "
                              "resume from them on the next run")
+    parser.add_argument("--retry-quarantined", action="store_true",
+                        help="forget checkpointed quarantine verdicts and "
+                             "give those cells another chance")
+    parser.add_argument("--service", default=None, metavar="SOCK",
+                        help="route simulations through the experiment "
+                             "daemon at SOCK (default: auto-detect "
+                             "$REPRO_SERVICE_SOCKET or the default "
+                             "socket; falls back to the local pool)")
+    parser.add_argument("--no-service", action="store_true",
+                        help="never route through a daemon, even if one "
+                             "is running")
 
 
 def _configure_harness(args) -> bool:
@@ -95,6 +110,15 @@ def _configure_harness(args) -> bool:
     use_cache = not args.no_cache
     configure_cache(args.cache_dir, enabled=use_cache)
     return use_cache
+
+
+def _service_arg(args):
+    """The ``service`` value for run_grid/run_suite from the shared
+    flags: ``False`` disables routing, a path pins a daemon, ``None``
+    auto-detects."""
+    if getattr(args, "no_service", False):
+        return False
+    return getattr(args, "service", None)
 
 
 def _cmd_list(args) -> int:
@@ -136,7 +160,9 @@ def _cmd_compare(args) -> int:
     results = run_suite([args.benchmark.upper()], args.scale, config,
                         jobs=args.jobs, use_cache=use_cache,
                         timeout=args.timeout, retries=args.retries,
-                        checkpoint=args.checkpoint)[args.benchmark.upper()]
+                        checkpoint=args.checkpoint,
+                        retry_quarantined=args.retry_quarantined,
+                        service=_service_arg(args))[args.benchmark.upper()]
     rows = []
     base_cycles = None
     for technique in ("baseline", "cae", "mta", "dac"):
@@ -216,7 +242,8 @@ _FIGURE_NEEDS = {
 
 
 def _prewarm_figures(names, scale, config, jobs, timeout=None, retries=1,
-                     checkpoint=None) -> None:
+                     checkpoint=None, retry_quarantined=False,
+                     service=None) -> None:
     orders = {"all": COMPUTE_ORDER + MEMORY_ORDER,
               "compute": COMPUTE_ORDER, "memory": MEMORY_ORDER, "": []}
     tasks = []
@@ -233,6 +260,7 @@ def _prewarm_figures(names, scale, config, jobs, timeout=None, retries=1,
         report = GridReport()
         run_grid(tasks, scale, jobs=jobs, timeout=timeout, retries=retries,
                  checkpoint=checkpoint, report=report,
+                 retry_quarantined=retry_quarantined, service=service,
                  progress=lambda done, total, abbr, tech, _res: print(
                      f"  [{done}/{total}] {abbr}/{tech}", file=sys.stderr))
         print(f"  prewarm: {report.summary()}", file=sys.stderr)
@@ -278,7 +306,9 @@ def _cmd_figures(args) -> int:
     if args.jobs > 1:
         _prewarm_figures(names, args.scale, config, args.jobs,
                          timeout=args.timeout, retries=args.retries,
-                         checkpoint=args.checkpoint)
+                         checkpoint=args.checkpoint,
+                         retry_quarantined=args.retry_quarantined,
+                         service=_service_arg(args))
     for key in names:
         print(figures[key]())
         print()
@@ -324,6 +354,25 @@ def _cmd_faults(args) -> int:
 def _cmd_perf(args) -> int:
     from .harness.bench import main_perf
     return main_perf(args)
+
+
+def _cmd_serve(args) -> int:
+    from .harness.client import default_socket_path
+    from .harness.parallel import default_jobs
+    from .service.daemon import run_daemon
+    socket_path = args.socket or default_socket_path()
+    return run_daemon(
+        socket_path,
+        state_dir=args.state,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        workers=args.workers or default_jobs(),
+        queue_limit=args.queue_limit,
+        job_timeout=args.timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_strikes=args.strikes,
+        drain_timeout=args.drain_timeout,
+    )
 
 
 def _cmd_lint(args) -> int:
@@ -476,6 +525,48 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verbose", action="store_true",
                         help="print each cell's outcome as it lands")
     faults.set_defaults(func=_cmd_faults)
+
+    serve = sub.add_parser(
+        "serve", help="run the supervised experiment daemon "
+                      "(unix socket, journaled jobs, worker heartbeats)")
+    serve.add_argument("--socket", default=None, metavar="SOCK",
+                       help="unix socket to listen on (default: "
+                            "$REPRO_SERVICE_SOCKET or service.sock next "
+                            "to the disk cache)")
+    serve.add_argument("--state", default=None, metavar="DIR",
+                       help="journal directory (default: "
+                            "$REPRO_SERVICE_STATE or a service/ dir next "
+                            "to the disk cache); a restarted daemon "
+                            "replays it")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="supervised worker processes "
+                            "(default: $REPRO_JOBS or cpu count)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared content-hash result cache "
+                            "(default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-dac)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared disk cache")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="max admitted-but-unsettled jobs before "
+                            "submissions answer busy (default 64)")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       metavar="S",
+                       help="per-cell wall-clock bound; a worker past it "
+                            "is killed, respawned, and the cell struck "
+                            "(default 120)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       metavar="S",
+                       help="kill workers whose heartbeat goes stale "
+                            "(default 15)")
+    serve.add_argument("--strikes", type=int, default=2, metavar="N",
+                       help="circuit breaker: strikes before a cell is "
+                            "quarantined (default 2)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="S",
+                       help="graceful-shutdown bound for in-flight cells "
+                            "(default: --timeout + 5)")
+    serve.set_defaults(func=_cmd_serve)
 
     perf = sub.add_parser(
         "perf", help="throughput benchmark gated on Stats bit-identity")

@@ -3,6 +3,9 @@
 Import :mod:`repro.faults.campaign` explicitly for the detect-or-survive
 fuzz campaign; it pulls in the whole simulator and is kept out of this
 package root so the sim core can import the hooks without a cycle.
+:mod:`repro.faults.chaos` holds the process-level chaos hooks (worker
+death, wedges, delays) that the service chaos campaign drives via
+environment variables.
 """
 
 from .checkers import CheckerError, NULL_CHECKERS, NullCheckers, \

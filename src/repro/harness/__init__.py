@@ -23,6 +23,15 @@ from .diskcache import (
     result_to_json,
     result_to_json_dict,
 )
+from .backoff import backoff_delay, backoff_schedule
+from .client import (
+    RemoteTaskError,
+    ServiceBusy,
+    ServiceClient,
+    ServiceUnavailable,
+    default_socket_path,
+    try_connect,
+)
 from .parallel import GridCheckpoint, GridReport, default_jobs, run_grid
 from .perfstats import (
     Summary,
@@ -52,9 +61,13 @@ from .runner import (
 
 __all__ = [
     "DiskCache", "Geomean", "GridCheckpoint", "GridReport", "Profile",
-    "Summary", "SweepPoint", "SweepResult", "TTestResult",
-    "TECHNIQUES", "ascii_table", "bar", "cache_key", "clear_cache",
-    "configure_cache", "default_cache_dir", "default_jobs", "disk_cache",
+    "RemoteTaskError", "ServiceBusy", "ServiceClient",
+    "ServiceUnavailable", "Summary", "SweepPoint", "SweepResult",
+    "TTestResult",
+    "TECHNIQUES", "ascii_table", "backoff_delay", "backoff_schedule",
+    "bar", "cache_key", "clear_cache",
+    "configure_cache", "default_cache_dir", "default_jobs",
+    "default_socket_path", "disk_cache", "try_connect",
     "experiment_config", "fig6_affine_potential", "fig6_report",
     "fig16_report", "fig16_speedup", "fig17_instruction_counts",
     "fig18_coverage", "fig19_affine_loads", "fig20_mta_coverage",

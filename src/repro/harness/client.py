@@ -1,0 +1,287 @@
+"""Thin synchronous client for the experiment daemon.
+
+``run_grid`` (and therefore every CLI command, figure driver, and bench)
+routes through a running daemon *transparently*: if the service socket
+answers a ping, pending cells are submitted over it and the results are
+read back out of the daemon's atomic blob store (client and daemon share
+a filesystem — that is what a unix socket means — so multi-megabyte
+device-memory images never ride the wire).  If no daemon is up, or one
+dies mid-grid, the caller falls back to the local pool; the daemon is an
+accelerator, never a dependency.
+
+Backpressure is cooperative: a ``busy`` reply from the daemon's bounded
+queue is retried on the shared capped-exponential schedule with
+deterministic jitter (:mod:`repro.harness.backoff`), seeded by the job
+digest so concurrent clients spread out instead of thundering back in
+step.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import time
+import zlib
+from pathlib import Path
+
+from ..sim.gpu import RunResult, SimulationHang
+from .backoff import backoff_delay
+from .diskcache import default_cache_dir
+
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+
+def default_socket_path() -> Path:
+    """``$REPRO_SERVICE_SOCKET`` or ``service.sock`` next to the default
+    disk cache (the daemon's default listen address)."""
+    env = os.environ.get(SOCKET_ENV)
+    if env:
+        return Path(env).expanduser()
+    return default_cache_dir() / "service.sock"
+
+
+class ServiceUnavailable(ConnectionError):
+    """No daemon at the socket, or it went away mid-conversation."""
+
+
+class ServiceBusy(RuntimeError):
+    """The daemon's bounded queue stayed full through every retry."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A deterministic in-task exception, reported by the daemon.
+
+    Mirrors the local pool's contract: deterministic failures propagate
+    instead of being retried.  When the remote failure was a
+    :class:`SimulationHang`, the structured report rides along as
+    ``hang`` (rebuilt via its JSON round-trip)."""
+
+    def __init__(self, kind: str, message: str,
+                 hang: SimulationHang | None = None):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.hang = hang
+
+
+class ServiceClient:
+    """Blocking NDJSON client over a unix socket."""
+
+    def __init__(self, socket_path=None, timeout: float = 300.0):
+        self.socket_path = Path(socket_path) if socket_path is not None \
+            else default_socket_path()
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(str(self.socket_path))
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceUnavailable(
+                f"no daemon at {self.socket_path}: {exc}") from None
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        from ..service.protocol import read_message, write_message
+        try:
+            write_message(self._file, payload)
+            response = read_message(self._file)
+        except (OSError, ValueError) as exc:
+            raise ServiceUnavailable(f"daemon went away: {exc}") from None
+        if response is None:
+            raise ServiceUnavailable("daemon closed the connection")
+        return response
+
+    def ping(self) -> dict:
+        response = self.request({"op": "ping"})
+        if not response.get("ok") or response.get("op") != "pong":
+            raise ServiceUnavailable(f"bad ping response: {response}")
+        return response
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, tasks, scale: str) -> list[dict]:
+        """Submit ``(abbr, technique, config)`` tasks; returns the
+        per-job replies (``digest`` + ``state``, possibly ``busy``)."""
+        from ..service.protocol import task_to_wire
+        response = self.request(
+            {"op": "submit",
+             "jobs": [task_to_wire(task, scale) for task in tasks]})
+        if not response.get("ok"):
+            raise ServiceUnavailable(f"submit rejected: {response}")
+        return response["jobs"]
+
+    def wait(self, digest: str, timeout: float = 30.0) -> dict:
+        return self.request({"op": "wait", "digest": digest,
+                             "timeout": timeout})
+
+    def load_result(self, response: dict) -> RunResult:
+        """Materialize a ``done`` wait-reply: read the daemon's atomic
+        blob (shared filesystem), falling back to the inline JSON form
+        if the daemon sent one."""
+        path = response.get("result_path")
+        if path:
+            try:
+                blob = Path(path).read_bytes()
+                result = pickle.loads(zlib.decompress(blob))
+                if isinstance(result, RunResult):
+                    return result
+            except (OSError, pickle.PickleError, zlib.error):
+                pass
+        inline = response.get("result")
+        if inline is not None:
+            from .diskcache import result_from_json_dict
+            return result_from_json_dict(inline)
+        raise ServiceUnavailable(
+            f"done job {response.get('digest')} has no readable result")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- grid-level convenience --------------------------------------------
+
+    def run_tasks(self, tasks, scale: str, progress=None,
+                  max_busy_retries: int = 8,
+                  wait_timeout: float = 30.0) -> tuple[dict, list, dict]:
+        """Run a grid through the daemon.
+
+        Returns ``(results, quarantined, failures)`` where ``results``
+        maps tasks to :class:`RunResult`; quarantined cells come back as
+        partial results, deterministic failures raise
+        :class:`RemoteTaskError` (matching the local pool's semantics).
+        """
+        from ..service.protocol import job_digest
+        tasks = list(tasks)
+        digests = {job_digest(task, scale): task for task in tasks}
+        pending = dict(digests)
+
+        unsubmitted = dict(pending)
+        attempt = 0
+        while unsubmitted:
+            replies = self.submit(list(unsubmitted.values()), scale)
+            busy = {}
+            for reply in replies:
+                digest = reply["digest"]
+                if reply["state"] == "busy":
+                    busy[digest] = unsubmitted[digest]
+            if not busy:
+                break
+            if attempt >= max_busy_retries:
+                raise ServiceBusy(
+                    f"daemon stayed busy for {len(busy)} job(s) after "
+                    f"{attempt} retries")
+            time.sleep(backoff_delay(attempt,
+                                     seed=min(busy) if busy else ""))
+            attempt += 1
+            unsubmitted = busy
+
+        results: dict = {}
+        quarantined: list = []
+        failures: dict = {}
+        while pending:
+            for digest in list(pending):
+                reply = self.wait(digest, timeout=wait_timeout)
+                state = reply.get("state")
+                if state == "done":
+                    task = pending.pop(digest)
+                    results[task] = self.load_result(reply)
+                    if progress is not None:
+                        progress(task, results[task])
+                elif state == "quarantined":
+                    task = pending.pop(digest)
+                    quarantined.append(task)
+                    failures[task] = reply.get("error") or "quarantined"
+                elif state == "failed":
+                    hang = None
+                    if reply.get("hang") is not None:
+                        hang = SimulationHang.from_dict(reply["hang"])
+                    raise RemoteTaskError(reply.get("kind") or "Error",
+                                          reply.get("message") or "",
+                                          hang=hang)
+                # queued/running: keep waiting
+        return results, quarantined, failures
+
+
+def try_connect(socket_path=None,
+                timeout: float = 300.0) -> ServiceClient | None:
+    """A pinged client, or ``None`` when no daemon answers (the cheap
+    existence check first, so the no-daemon fast path never syscalls
+    into ``connect``)."""
+    path = Path(socket_path) if socket_path is not None \
+        else default_socket_path()
+    if not path.exists():
+        return None
+    try:
+        client = ServiceClient(path, timeout=timeout)
+    except ServiceUnavailable:
+        return None
+    try:
+        client.ping()
+    except ServiceUnavailable:
+        client.close()
+        return None
+    return client
+
+
+def run_tasks_via_service(pending, scale, service, *, results, report,
+                          checkpoint, progress, total,
+                          use_cache: bool) -> list:
+    """``run_grid``'s routing hook: try the daemon for ``pending``;
+    whatever it could not take (no daemon, daemon died mid-grid) is
+    returned for the local pool.  Completed cells land in ``results``,
+    the memo cache, the checkpoint, and ``report`` exactly as local
+    completions would."""
+    from . import runner
+    path = None if service in (None, True) else service
+    client = try_connect(path)
+    if client is None:
+        return pending
+    try:
+        def _progress(task, result):
+            if progress is not None:
+                progress(len(results), total, task[0], task[1], result)
+
+        with client:
+            served, quarantined, failures = client.run_tasks(
+                pending, scale, progress=None)
+            for task, result in served.items():
+                abbr, technique, config = task
+                if use_cache:
+                    runner._remember(abbr, technique, scale, config,
+                                     result)
+                results[task] = result
+                report.completed += 1
+                if checkpoint is not None:
+                    from .parallel import GridCheckpoint
+                    checkpoint.record_done(
+                        GridCheckpoint.digest(task, scale), task, result)
+                _progress(task, result)
+            for task in quarantined:
+                report.quarantined.append(task)
+                report.failures[task] = failures[task]
+        return []
+    except ServiceUnavailable as exc:
+        import sys
+        print(f"repro: service at {client.socket_path} went away "
+              f"({exc}); falling back to the local pool",
+              file=sys.stderr)
+        done = set(results)
+        return [task for task in pending if task not in done]
+    except ServiceBusy as exc:
+        import sys
+        print(f"repro: {exc}; falling back to the local pool",
+              file=sys.stderr)
+        done = set(results)
+        return [task for task in pending if task not in done]

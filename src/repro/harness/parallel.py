@@ -48,6 +48,7 @@ from pathlib import Path
 
 from ..config import GPUConfig
 from ..sim.gpu import RunResult
+from .backoff import backoff_delay
 
 #: Task: (benchmark abbr, technique, GPUConfig).
 Task = tuple
@@ -94,6 +95,45 @@ class GridReport:
             parts.append(f"{len(self.quarantined)} quarantined")
         return ", ".join(parts)
 
+    @staticmethod
+    def _task_to_wire(task) -> dict:
+        abbr, technique, config = task
+        return {"abbr": abbr, "technique": technique,
+                "config": dataclasses.asdict(config)}
+
+    @staticmethod
+    def _task_from_wire(data: dict) -> Task:
+        return (data["abbr"], data["technique"],
+                GPUConfig.from_dict(data["config"]))
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form: tasks (tuples holding a
+        :class:`GPUConfig`) are flattened so the report can cross the
+        service wire and round-trip through :meth:`from_dict`."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": [self._task_to_wire(t)
+                            for t in self.quarantined],
+            "failures": [{"task": self._task_to_wire(task),
+                          "reason": reason}
+                         for task, reason in self.failures.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridReport":
+        report = cls(total=data["total"], completed=data["completed"],
+                     resumed=data["resumed"], retries=data["retries"],
+                     timeouts=data["timeouts"])
+        report.quarantined = [cls._task_from_wire(t)
+                              for t in data["quarantined"]]
+        report.failures = {cls._task_from_wire(f["task"]): f["reason"]
+                           for f in data["failures"]}
+        return report
+
 
 class GridCheckpoint:
     """Resumable sweep state: a directory holding one ``state.json`` plus a
@@ -132,10 +172,19 @@ class GridCheckpoint:
         entry = self._state.get(digest)
         return entry["status"] if entry else None
 
-    def record_done(self, digest: str, task: Task, result: RunResult) -> None:
+    def save_result(self, digest: str, result: RunResult) -> None:
+        """Atomically persist just the result blob (no state change) —
+        the service journal uses this as its commit record: a loadable
+        blob *is* the proof a cell finished."""
         blob = zlib.compress(
             pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL), 1)
         self._write_atomic(self.root / f"{digest}.pkl.z", blob)
+
+    def result_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.pkl.z"
+
+    def record_done(self, digest: str, task: Task, result: RunResult) -> None:
+        self.save_result(digest, result)
         self._state[digest] = {"task": [task[0], task[1]], "status": "done"}
         self._save_state()
 
@@ -144,6 +193,16 @@ class GridCheckpoint:
         self._state[digest] = {"task": [task[0], task[1]],
                                "status": "quarantined", "error": error}
         self._save_state()
+
+    def clear_quarantined(self, digest: str) -> bool:
+        """Forget a quarantine verdict so the cell runs again on the next
+        sweep (``--retry-quarantined``); returns whether one was cleared."""
+        entry = self._state.get(digest)
+        if entry is None or entry.get("status") != "quarantined":
+            return False
+        del self._state[digest]
+        self._save_state()
+        return True
 
     def load_result(self, digest: str) -> RunResult | None:
         try:
@@ -179,7 +238,9 @@ def _worker(abbr: str, technique: str, scale: str, config: GPUConfig,
     payload is the final device-memory image (mostly zeros, tens of MB
     raw, ~100 KB compressed), and compressing beats pushing it through
     the result pipe raw by an order of magnitude."""
+    from ..faults import chaos
     from . import runner
+    chaos.install_from_env()
     use_cache = cache_dir is not None
     if use_cache:
         runner.configure_cache(cache_dir)
@@ -212,7 +273,9 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
              use_cache: bool = True, progress=None,
              timeout: float | None = None, retries: int = 1,
              backoff: float = 0.5, checkpoint=None,
-             report: GridReport | None = None) -> dict:
+             report: GridReport | None = None,
+             retry_quarantined: bool = False,
+             service: str | os.PathLike | bool | None = None) -> dict:
     """Fan ``tasks`` — (abbr, technique) pairs or (abbr, technique,
     config) triples — out over ``jobs`` worker processes.
 
@@ -232,7 +295,16 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
     ``checkpoint`` (a directory path or :class:`GridCheckpoint`) makes the
     sweep resumable: finished cells are persisted as they land and skipped
     on the next call.  Pass a :class:`GridReport` as ``report`` to receive
-    retry/timeout/quarantine accounting.
+    retry/timeout/quarantine accounting.  ``retry_quarantined=True``
+    forgets earlier quarantine verdicts and gives those cells another
+    chance.
+
+    ``service`` routes the grid through a running experiment daemon
+    (``python -m repro serve``): a socket path uses that daemon, ``None``
+    auto-detects one at :func:`repro.harness.client.default_socket_path`,
+    and ``False`` forces the local pool.  When no daemon answers, the
+    local path below runs unchanged — the daemon is an accelerator, never
+    a dependency.
     """
     from . import runner
 
@@ -259,6 +331,9 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
         if checkpoint is not None:
             digest = GridCheckpoint.digest(task, scale)
             status = checkpoint.status(digest)
+            if status == "quarantined" and retry_quarantined:
+                checkpoint.clear_quarantined(digest)
+                status = None
             if status == "done":
                 result = checkpoint.load_result(digest)
                 if result is not None:
@@ -278,6 +353,13 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
         else:
             pending.append(task)
     total = len(norm)
+
+    if pending and service is not False:
+        from .client import run_tasks_via_service
+        pending = run_tasks_via_service(
+            pending, scale, service, results=results, report=report,
+            checkpoint=checkpoint, progress=progress, total=total,
+            use_cache=use_cache)
 
     jobs = jobs if jobs is not None else default_jobs()
     if jobs <= 1 or len(pending) <= 1:
@@ -306,7 +388,8 @@ def run_grid(tasks, scale: str = "paper", jobs: int | None = None,
     wave = 0
     while queue:
         if wave > 0:
-            time.sleep(min(30.0, backoff * (2 ** (wave - 1))))
+            time.sleep(backoff_delay(wave - 1, base=backoff,
+                                     seed="run_grid"))
         transient: list[Task] = []
         timed_out: list[Task] = []
         carryover: list[Task] = []

@@ -1,0 +1,97 @@
+"""Wire protocol of the experiment daemon: newline-delimited JSON.
+
+One request object per line, one response object per line, over a unix
+domain socket.  Requests carry an ``op``; responses carry ``ok`` and
+either the answer or an ``error``.  The protocol is deliberately dumb —
+flat JSON, no streaming, no binary frames — because the daemon and its
+clients share a filesystem: big payloads (result blobs) travel as paths
+into the journal's atomic blob store, not over the socket.
+
+Ops (see :mod:`repro.service.daemon` for semantics):
+
+* ``ping`` — liveness + version handshake;
+* ``submit`` — a list of jobs; per-job reply is ``queued``, ``running``,
+  ``done``, ``quarantined``, ``failed``, or ``busy`` (backpressure);
+* ``wait`` — block (bounded) until one job settles;
+* ``status`` — queue/worker/breaker introspection, incl. worker pids
+  (the chaos campaign SIGKILLs those) and a ``GridReport`` dict;
+* ``shutdown`` — graceful drain-and-exit.
+
+A job is identified by the same content digest the checkpoint layer
+uses (:meth:`repro.harness.parallel.GridCheckpoint.digest`): abbr,
+technique, scale, and the full ``GPUConfig``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..config import GPUConfig
+from ..harness.parallel import GridCheckpoint
+
+PROTOCOL_VERSION = 1
+
+#: One line must fit a grid submission; results never ride the socket.
+MAX_LINE = 8 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, oversized line, or version mismatch."""
+
+
+def encode(message: dict) -> bytes:
+    return json.dumps(message, separators=(",", ":"),
+                      sort_keys=True).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds MAX_LINE")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message
+
+
+def write_message(sock_file, message: dict) -> None:
+    """Send one frame on a blocking socket file object."""
+    sock_file.write(encode(message))
+    sock_file.flush()
+
+
+def read_message(sock_file) -> dict | None:
+    """Read one frame from a blocking socket file; ``None`` on EOF."""
+    line = sock_file.readline(MAX_LINE + 1)
+    if not line:
+        return None
+    return decode(line)
+
+
+# ---------------------------------------------------------------------------
+# Job identity and task encoding.
+
+def task_to_wire(task, scale: str) -> dict:
+    """``(abbr, technique, GPUConfig)`` → JSON-able job description."""
+    abbr, technique, config = task
+    return {"abbr": abbr, "technique": technique, "scale": scale,
+            "config": dataclasses.asdict(config)}
+
+
+def task_from_wire(job: dict) -> tuple[tuple, str]:
+    """Inverse of :func:`task_to_wire`: ``(task, scale)``."""
+    try:
+        task = (job["abbr"], job["technique"],
+                GPUConfig.from_dict(job["config"]))
+        return task, job["scale"]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed job description: {exc}") from None
+
+
+def job_digest(task, scale: str) -> str:
+    """Content digest identifying one job — shared with the checkpoint
+    layer so journal dirs double as ``run_grid`` checkpoints."""
+    return GridCheckpoint.digest(task, scale)

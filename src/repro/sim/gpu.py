@@ -44,6 +44,33 @@ class SimulationHang(DeadlockError):
         self.warp_states = list(warp_states)
         super().__init__(self._render())
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form so a hang report can cross the service
+        wire.  ``queue_occupancy`` is keyed by SM index (an int), which
+        JSON would silently stringify — :meth:`from_dict` restores it."""
+        return {
+            "reason": self.reason,
+            "cycle": self.cycle,
+            "last_progress_cycle": self.last_progress_cycle,
+            "stall_snapshot": dict(self.stall_snapshot),
+            "queue_occupancy": {str(sm): dict(occ) for sm, occ
+                                in self.queue_occupancy.items()},
+            "warp_states": list(self.warp_states),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationHang":
+        occupancy = {}
+        for sm, occ in data["queue_occupancy"].items():
+            try:
+                key = int(sm)
+            except ValueError:
+                key = sm
+            occupancy[key] = dict(occ)
+        return cls(data["reason"], data["cycle"],
+                   data["last_progress_cycle"], data["stall_snapshot"],
+                   occupancy, data["warp_states"])
+
     def _render(self) -> str:
         head = ("simulation hang" if self.reason == "no_progress"
                 else f"exceeded max_cycles")

@@ -1,0 +1,60 @@
+"""The shared retry schedule: capped exponential growth, deterministic
+jitter, and the zero-base escape hatch the fast tests rely on."""
+
+import pytest
+
+from repro.harness.backoff import (
+    backoff_delay,
+    backoff_schedule,
+    jitter_fraction,
+)
+
+
+def test_unjittered_schedule_doubles_then_caps():
+    delays = backoff_schedule(8, base=0.5, cap=10.0, jitter=0.0)
+    assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 10.0, 10.0, 10.0]
+
+
+def test_zero_base_disables_sleeping():
+    assert backoff_delay(5, base=0.0) == 0.0
+    assert backoff_schedule(4, base=-1.0) == [0.0] * 4
+
+
+def test_jitter_stays_within_bounds_and_under_cap():
+    for attempt in range(10):
+        raw = min(30.0, 0.5 * 2 ** attempt)
+        delay = backoff_delay(attempt, base=0.5, cap=30.0, jitter=0.25,
+                              seed="abc")
+        assert raw <= delay <= min(30.0, raw * 1.25)
+    assert backoff_delay(40, base=0.5, cap=30.0, jitter=0.25,
+                         seed="abc") <= 30.0
+
+
+def test_same_seed_and_attempt_is_deterministic():
+    a = backoff_schedule(6, seed="digest-1")
+    b = backoff_schedule(6, seed="digest-1")
+    assert a == b
+
+
+def test_different_seeds_decorrelate():
+    a = backoff_schedule(6, seed="digest-1")
+    b = backoff_schedule(6, seed="digest-2")
+    # Two clients with different job digests must not sleep in lock-step.
+    assert a != b
+
+
+def test_jitter_fraction_is_uniformish_in_unit_interval():
+    values = [jitter_fraction(f"seed-{i}", i) for i in range(200)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    assert len(set(values)) == len(values)          # no collisions here
+    mean = sum(values) / len(values)
+    assert 0.4 < mean < 0.6
+
+
+def test_negative_attempt_clamps_to_base():
+    assert backoff_delay(-3, base=0.5, jitter=0.0) == 0.5
+
+
+@pytest.mark.parametrize("attempts", [0, 1, 5])
+def test_schedule_length(attempts):
+    assert len(backoff_schedule(attempts)) == attempts

@@ -42,6 +42,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "LIB", "--technique", "x"])
 
+    def test_service_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "CP", "--retry-quarantined",
+             "--service", "/tmp/d.sock"])
+        assert args.retry_quarantined
+        assert args.service == "/tmp/d.sock"
+        args = build_parser().parse_args(["compare", "CP", "--no-service"])
+        assert args.no_service and not args.retry_quarantined
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket is None and args.state is None
+        assert args.queue_limit == 64
+        assert args.timeout == 120.0
+        assert args.strikes == 2
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/d.sock", "--workers", "3",
+             "--timeout", "5", "--strikes", "1", "--no-cache"])
+        assert args.socket == "/tmp/d.sock"
+        assert args.workers == 3 and args.no_cache
+
 
 class TestCommands:
     def test_list(self, capsys):

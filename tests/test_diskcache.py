@@ -3,7 +3,12 @@ semantics, atomic writes, serialization round-trips, and the warm-suite
 guarantee (a second run_suite performs zero simulations)."""
 
 import dataclasses
+import os
 import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -122,6 +127,65 @@ class TestDiskCache:
         leftovers = [p for p in cache.root.iterdir()
                      if not p.name.endswith(DiskCache.SUFFIX)]
         assert leftovers == []
+
+
+_HAMMER = textwrap.dedent("""
+    import sys
+    import numpy as np
+    from repro.config import GPUConfig
+    from repro.harness.diskcache import DiskCache
+    from repro.sim.gpu import RunResult
+    from repro.stats import Stats
+
+    root, wid = sys.argv[1], int(sys.argv[2])
+    cache = DiskCache(root)
+    stats = Stats()
+    stats.add("writer", float(wid))
+    for i in range(150):
+        slot = i % 6
+        result = RunResult(cycles=1000 + slot, stats=stats,
+                           config=GPUConfig(), kernel_name=f"kern{slot}",
+                           extra={"memory_words": np.zeros(16384)})
+        cache.store(f"k{slot}", result)
+        loaded = cache.load(f"k{slot}")
+        # A concurrent reader sees the old entry or the new one — never
+        # a torn write.
+        assert loaded is not None, f"torn read at {i}"
+        assert loaded.kernel_name == f"kern{slot}"
+        assert loaded.cycles == 1000 + slot
+    assert cache.corrupt == 0
+    print("ok")
+""")
+
+
+@pytest.mark.resilience
+def test_two_process_writers_never_corrupt_the_cache(tmp_path):
+    """Satellite acceptance: two processes hammering the same keys leave
+    only whole, loadable entries — no torn reads, no ``.corrupt``
+    quarantine files, no leftover temporaries."""
+    root = tmp_path / "shared"
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [subprocess.Popen(
+        [sys.executable, "-c", _HAMMER, str(root), str(wid)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        for wid in range(2)]
+    for proc in procs:
+        out, _ = proc.communicate(timeout=300)
+        assert proc.returncode == 0, out.decode()
+        assert b"ok" in out
+    cache = DiskCache(root)
+    for slot in range(6):
+        loaded = cache.load(f"k{slot}")
+        assert loaded is not None and loaded.cycles == 1000 + slot
+        # The survivor is one writer's complete entry, never a blend.
+        assert loaded.stats.as_dict()["writer"] in (0.0, 1.0)
+    assert cache.corrupt == 0
+    assert not list(root.glob(f"*{DiskCache.CORRUPT_SUFFIX}"))
+    leftovers = [p for p in root.iterdir()
+                 if not p.name.endswith(DiskCache.SUFFIX)]
+    assert leftovers == []
 
 
 class TestWiring:

@@ -143,6 +143,62 @@ def test_checkpoint_resume_skips_finished_cells(monkeypatch, tmp_path):
             results[task].stats.as_dict()
 
 
+def test_retry_quarantined_gives_cells_another_chance(monkeypatch,
+                                                      tmp_path):
+    """Quarantine is sticky across runs (the checkpoint remembers), but
+    ``retry_quarantined=True`` clears the verdict and the cells run —
+    and, once they succeed, later resumes restore them as done."""
+    with monkeypatch.context() as m:
+        m.setattr(parallel, "ProcessPoolExecutor", _StuckPool)
+        report = GridReport()
+        run_grid(TASKS, "tiny", jobs=2, timeout=0.05, retries=0,
+                 backoff=0.0, checkpoint=tmp_path, report=report)
+        assert len(report.quarantined) == len(TASKS)
+
+    # Without the flag: still quarantined, nothing simulated.
+    sticky = GridReport()
+    results = run_grid(TASKS, "tiny", jobs=1, use_cache=False,
+                       checkpoint=tmp_path, report=sticky)
+    assert results == {}
+    assert len(sticky.quarantined) == len(TASKS)
+    assert all("previous run" in reason
+               for reason in sticky.failures.values())
+
+    # With the flag: verdicts cleared, cells actually run (serially,
+    # with the broken pool long gone).
+    retried = GridReport()
+    results = run_grid(TASKS, "tiny", jobs=1, use_cache=False,
+                       checkpoint=tmp_path, report=retried,
+                       retry_quarantined=True)
+    assert set(results) == set(TASKS)
+    assert retried.completed == len(TASKS)
+    assert retried.quarantined == []
+
+    # The success is durable: a plain resume restores them as done.
+    clear_cache()
+    resumed = GridReport()
+    results2 = run_grid(TASKS, "tiny", jobs=1, use_cache=False,
+                        checkpoint=tmp_path, report=resumed)
+    assert resumed.resumed == len(TASKS)
+    for task in TASKS:
+        assert results2[task].cycles == results[task].cycles
+
+
+def test_run_grid_waves_use_the_shared_backoff_schedule(monkeypatch):
+    """Satellite 1: the wave-retry sleep goes through
+    :func:`repro.harness.backoff.backoff_delay` with the caller's base."""
+    calls = []
+
+    def fake_delay(attempt, *, base, **kwargs):
+        calls.append((attempt, base))
+        return 0.0
+
+    monkeypatch.setattr(parallel, "backoff_delay", fake_delay)
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _DeadPool)
+    run_grid(TASKS, "tiny", jobs=2, backoff=0.125, retries=1)
+    assert calls == [(0, 0.125)]
+
+
 # ---------------------------------------------------------------------------
 # Real worker processes
 
