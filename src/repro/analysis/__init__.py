@@ -7,19 +7,41 @@ Every diagnostic class is validated dynamically by the campaign in
 exhibit the predicted simulator behavior (hang, oracle divergence, or DAC
 safe-mode fallback), and a clean fuzz corpus must lint silently.
 
+The translation-validation layer lives alongside the lint passes:
+:mod:`repro.analysis.symexec` symbolically executes kernels into affine
+closed forms, :mod:`repro.analysis.certify` proves decoupled streams
+equivalent to their source kernel (RPL05x), and
+:mod:`repro.analysis.mutate` hammers that proof with seeded compiler
+defects.  :mod:`repro.analysis.sarif` exports any report as SARIF 2.1.0.
+
 Entry points: :func:`lint_kernel`, :func:`lint_launch`,
-:func:`lint_program`; CLI: ``python -m repro lint``.
+:func:`lint_program`, :func:`certify_kernel`, :func:`certify_program`,
+:func:`run_mutation_campaign`; CLI: ``python -m repro lint`` and
+``python -m repro certify``.
 """
 
+from .certify import certify_kernel, certify_program
 from .diagnostics import CODES, Diagnostic, LintReport, Severity
 from .linter import lint_kernel, lint_launch, lint_program
+from .mutate import MUTATORS, MutationReport, run_mutation_campaign
+from .sarif import to_sarif, write_sarif
+from .symexec import SymbolicKernel, symexec
 
 __all__ = [
     "CODES",
     "Diagnostic",
     "LintReport",
+    "MUTATORS",
+    "MutationReport",
     "Severity",
+    "SymbolicKernel",
+    "certify_kernel",
+    "certify_program",
     "lint_kernel",
     "lint_launch",
     "lint_program",
+    "run_mutation_campaign",
+    "symexec",
+    "to_sarif",
+    "write_sarif",
 ]

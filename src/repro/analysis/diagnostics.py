@@ -21,7 +21,17 @@ RPL033  error     queue class used but configured with zero capacity
 RPL034  warning   static queue pressure exceeds configured capacity
 RPL041  error     access provably outside device memory
 RPL042  warning   access beyond the parameter's allocation extent
+RPL050  error     decoupled program fails structural verification
+RPL051  warning   provably affine access the decoupler missed
+RPL052  error     decoupled access not provably equivalent (soundness)
+RPL053  error     loop-carried closed forms disagree across streams
+RPL054  error     mod-type (rem) classification disagrees across streams
 ======  ========  ===================================================
+
+The RPL05x family is emitted by the translation-validation certifier
+(:mod:`repro.analysis.certify`), which symbolically executes the affine
+stream against the original kernel and proves every ENQ tuple equivalent
+to the original address/predicate closed form.
 
 Severity semantics follow the CLI contract: errors make ``repro lint``
 exit 1; ``--strict`` promotes warnings to the same fate.
@@ -59,6 +69,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "RPL034": (Severity.WARNING, "static queue pressure exceeds capacity"),
     "RPL041": (Severity.ERROR, "access outside device memory"),
     "RPL042": (Severity.WARNING, "access beyond allocation extent"),
+    "RPL050": (Severity.ERROR, "structural verification failure"),
+    "RPL051": (Severity.WARNING, "provably affine access not decoupled"),
+    "RPL052": (Severity.ERROR, "decoupled access not provably equivalent"),
+    "RPL053": (Severity.ERROR, "loop-carried closed forms disagree"),
+    "RPL054": (Severity.ERROR, "mod-type classification disagrees"),
 }
 
 

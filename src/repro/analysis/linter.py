@@ -8,9 +8,10 @@ The driver composes the six passes:
   (RPL041/042) — without one these passes are recorded in
   ``report.skipped_passes`` rather than silently dropped;
 * when the kernel decouples: queue pairing/pressure (RPL031-034) on the
-  generated :class:`~repro.compiler.decouple.DecoupledProgram`.  An
-  already-decoupled stream kernel (containing enq/deq forms) is not
-  re-decoupled.
+  generated :class:`~repro.compiler.decouple.DecoupledProgram`, plus the
+  translation-validation certifier (RPL050-054,
+  :mod:`repro.analysis.certify`).  An already-decoupled stream kernel
+  (containing enq/deq forms) is not re-decoupled.
 """
 
 from __future__ import annotations
@@ -65,6 +66,9 @@ def lint_kernel(kernel: Kernel, config: GPUConfig | None = None,
             report.skipped_passes.append(f"queues ({exc})")
         else:
             report.extend(queue_pass(program, config))
+            if program.is_decoupled:
+                from .certify import certify_program
+                report.merge(certify_program(program))
     return report.finalize()
 
 

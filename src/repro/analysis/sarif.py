@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 export for lint and certification reports.
+
+``repro lint --sarif out.sarif`` / ``repro certify --sarif out.sarif``
+serialize a :class:`~repro.analysis.diagnostics.LintReport` into the
+Static Analysis Results Interchange Format so CI can upload findings to
+code-scanning UIs.  The emitted document is deliberately small:
+
+* one ``run`` with one ``tool.driver`` (``repro-lint``) whose rules are
+  the stable RPL0xx registry (:data:`~repro.analysis.diagnostics.CODES`);
+* one ``result`` per diagnostic; kernels have no files on disk, so each
+  points at a pseudo artifact ``kernels/<kernel>.reproasm`` with the
+  1-based assembly ``source_line`` when the builder threaded one through
+  (line 1 otherwise — SARIF regions are 1-based and required by most
+  viewers);
+* ``runs[0].properties.schemaVersion`` carries our own schema tag
+  (``repro-sarif/1``) so downstream tooling can detect incompatible
+  future layouts without sniffing the structure.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .. import __version__
+from .diagnostics import CODES, Diagnostic, LintReport, Severity
+
+__all__ = ["SCHEMA_VERSION", "to_sarif", "write_sarif"]
+
+#: Bump when the exported layout changes incompatibly.
+SCHEMA_VERSION = "repro-sarif/1"
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rules() -> list[dict]:
+    out = []
+    for code, (severity, title) in sorted(CODES.items()):
+        out.append({
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {
+                "level": "error" if severity is Severity.ERROR
+                else "warning",
+            },
+        })
+    return out
+
+
+def _artifact_uri(diag: Diagnostic) -> str:
+    return f"kernels/{diag.kernel}.reproasm"
+
+
+def _result(diag: Diagnostic) -> dict:
+    return {
+        "ruleId": diag.code,
+        "level": ("error" if diag.severity is Severity.ERROR
+                  else "warning"),
+        "message": {"text": diag.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _artifact_uri(diag)},
+                "region": {"startLine": diag.source_line or 1},
+            },
+        }],
+        "properties": {
+            "kernel": diag.kernel,
+            "instIndex": diag.inst_index,
+        },
+    }
+
+
+def to_sarif(report: LintReport, tool_name: str = "repro-lint") -> dict:
+    """Serialize a lint/certify report as a SARIF 2.1.0 document."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": __version__,
+                    "informationUri":
+                        "https://example.invalid/repro-dac",
+                    "rules": _rules(),
+                },
+            },
+            "results": [_result(d) for d in report.diagnostics],
+            "artifacts": [
+                {"location": {"uri": uri}} for uri in sorted(
+                    {_artifact_uri(d) for d in report.diagnostics})],
+            "properties": {
+                "schemaVersion": SCHEMA_VERSION,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "skippedPasses": list(report.skipped_passes),
+            },
+        }],
+    }
+
+
+def write_sarif(report: LintReport, path: str,
+                tool_name: str = "repro-lint") -> None:
+    """Write the SARIF document for ``report`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(report, tool_name=tool_name), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")

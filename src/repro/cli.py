@@ -23,7 +23,11 @@ Commands:
   (``--history`` summarizes the trajectory);
 * ``lint`` — static diagnostics (``RPL0xx``) over benchmarks or an
   assembly file; ``--campaign`` differentially validates every diagnostic
-  class against the simulator;
+  class against the simulator; ``--sarif`` exports findings as SARIF;
+* ``certify`` — translation validation of the decoupling compiler: prove
+  every queue tuple equivalent to the original access (RPL05x) over
+  benchmarks, fuzz kernels, or an assembly file; ``--campaign`` runs the
+  seeded decoupler-mutation campaign (no silent escapes allowed);
 * ``serve`` — the supervised experiment daemon: journaled jobs over a
   unix socket, worker heartbeats + watchdog respawn, per-workload
   circuit breakers, graceful drain; simulating commands route through a
@@ -424,12 +428,103 @@ def _cmd_lint(args) -> int:
             print(f"== {name}: {status}")
             for diag in report.diagnostics:
                 print(f"  {diag.render()}")
+    if args.sarif:
+        from .analysis import LintReport, write_sarif
+        merged = LintReport()
+        for rep in results.values():
+            merged.merge(rep)
+        write_sarif(merged.finalize(), args.sarif)
+        if not args.json:
+            print(f"sarif report written to {args.sarif}")
     if args.json:
         print(json_mod.dumps(
             {name: rep.to_dict() for name, rep in results.items()},
             indent=2))
     elif not failed:
         print(f"lint: {len(targets)} target(s) clean"
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
+
+
+def _cmd_certify(args) -> int:
+    import json as json_mod
+
+    from .analysis import certify_program
+    from .compiler.decouple import decouple
+    from .workloads import BY_ABBR, get
+
+    if args.campaign:
+        from .analysis.mutate import MUTATORS, run_mutation_campaign
+        classes = None
+        if args.classes:
+            classes = [c.strip() for c in args.classes.split(",") if c]
+            unknown = [c for c in classes if c not in MUTATORS]
+            if unknown:
+                print(f"unknown mutation class(es) {', '.join(unknown)}; "
+                      f"choose from {', '.join(MUTATORS)}", file=sys.stderr)
+                return 2
+        report = run_mutation_campaign(classes=classes, seed=args.seed)
+        if args.json:
+            print(json_mod.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
+    targets: list[tuple[str, Kernel]] = []
+    if args.file:
+        with open(args.file) as handle:
+            targets.append(("file", parse_kernel(handle.read())))
+    else:
+        names = [a.upper() for a in args.benchmarks]
+        if not names and not args.fuzz:
+            names = sorted(BY_ABBR)
+        unknown = [n for n in names if n not in BY_ABBR]
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        for name in names:
+            targets.append((name, get(name).launch(args.scale).kernel))
+    if args.fuzz:
+        from .workloads.fuzz import build_fuzz_launch
+        for seed in _parse_seeds(args.fuzz):
+            targets.append((f"fuzz-{seed}", build_fuzz_launch(seed).kernel))
+
+    failed = False
+    results = {}
+    for name, kernel in targets:
+        program = decouple(kernel)
+        report = certify_program(program)
+        results[name] = report
+        if not report.ok(strict=args.strict):
+            failed = True
+        if not args.json:
+            if not program.is_decoupled:
+                status = "not decoupled (nothing to certify)"
+            elif not report.diagnostics:
+                status = (f"certified: {program.num_queues} queue(s) "
+                          "proven equivalent")
+            else:
+                status = (f"{len(report.errors)} error(s), "
+                          f"{len(report.warnings)} warning(s)")
+            print(f"== {name}: {status}")
+            for diag in report.diagnostics:
+                print(f"  {diag.render()}")
+    if args.sarif:
+        from .analysis import LintReport, write_sarif
+        merged = LintReport()
+        for rep in results.values():
+            merged.merge(rep)
+        write_sarif(merged.finalize(), args.sarif,
+                    tool_name="repro-certify")
+        if not args.json:
+            print(f"sarif report written to {args.sarif}")
+    if args.json:
+        print(json_mod.dumps(
+            {name: rep.to_dict() for name, rep in results.items()},
+            indent=2))
+    elif not failed:
+        print(f"certify: {len(targets)} target(s) clean"
               + (" (strict)" if args.strict else ""))
     return 1 if failed else 0
 
@@ -614,11 +709,40 @@ def build_parser() -> argparse.ArgumentParser:
                            "trip their code AND misbehave as predicted")
     lint.add_argument("--seeds", default="0:2", metavar="LO:HI|A,B,C",
                       help="defect seeds for --campaign (default 0:2)")
+    lint.add_argument("--sarif", default=None, metavar="PATH",
+                      help="write findings as a SARIF 2.1.0 report")
     lint.add_argument("--clean-seeds", default="0:10",
                       metavar="LO:HI|A,B,C",
                       help="clean-corpus seeds for --campaign "
                            "(default 0:10)")
     lint.set_defaults(func=_cmd_lint)
+
+    cert = sub.add_parser(
+        "certify",
+        help="prove decoupled streams equivalent to their kernel (RPL05x)")
+    cert.add_argument("benchmarks", nargs="*", metavar="ABBR",
+                      help="benchmarks to certify (default: all 29)")
+    cert.add_argument("--file", default=None,
+                      help="certify an assembly file instead of a "
+                           "benchmark")
+    cert.add_argument("--scale", default="tiny", choices=("tiny", "paper"))
+    cert.add_argument("--fuzz", default=None, metavar="LO:HI|A,B,C",
+                      help="also certify fuzz-generated kernels by seed")
+    cert.add_argument("--strict", action="store_true",
+                      help="missed-optimization warnings (RPL051) also "
+                           "fail")
+    cert.add_argument("--json", action="store_true",
+                      help="emit machine-readable reports")
+    cert.add_argument("--sarif", default=None, metavar="PATH",
+                      help="write findings as a SARIF 2.1.0 report")
+    cert.add_argument("--campaign", action="store_true",
+                      help="run the seeded decoupler-mutation campaign "
+                           "instead of certifying the corpus")
+    cert.add_argument("--classes", default=None, metavar="A,B,C",
+                      help="mutation classes for --campaign (default all)")
+    cert.add_argument("--seed", type=int, default=0,
+                      help="campaign site-selection seed (default 0)")
+    cert.set_defaults(func=_cmd_certify)
 
     return parser
 

@@ -52,21 +52,36 @@ class DecoupledProgram:
     decoupled_preds: int = 0
     removed_instructions: int = 0    # dropped from the non-affine stream
     queue_origin: dict = field(default_factory=dict)   # qid -> original idx
+    #: Per-stream provenance: affine_origin[i] / nonaffine_origin[i] is the
+    #: original-kernel index the i-th stream instruction derives from.
+    affine_origin: list = field(default_factory=list)
+    nonaffine_origin: list = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
     @property
     def is_decoupled(self) -> bool:
         return self.affine is not None and self.num_queues > 0
 
+    def _queue_lines(self) -> list[str]:
+        lines = []
+        for qid in sorted(self.queue_origin):
+            idx = self.queue_origin[qid]
+            inst = self.original.instructions[idx]
+            where = (f"line {inst.source_line}" if inst.source_line
+                     else f"index {idx}")
+            lines.append(f"  q{qid}: {inst.opcode.value} at {where}")
+        return lines
+
     def summary(self) -> str:
         if not self.is_decoupled:
             return (f"{self.original.name}: not decoupled "
                     f"({'; '.join(self.notes) or 'no eligible instructions'})")
-        return (f"{self.original.name}: {self.decoupled_loads} loads, "
+        head = (f"{self.original.name}: {self.decoupled_loads} loads, "
                 f"{self.decoupled_stores} stores, {self.decoupled_preds} "
                 f"predicates decoupled; {self.removed_instructions} of "
                 f"{len(self.original)} instructions removed from the "
                 f"non-affine stream; affine stream has {len(self.affine)}")
+        return "\n".join([head] + self._queue_lines())
 
 
 class Decoupler:
@@ -177,6 +192,13 @@ class Decoupler:
                 return False
         return True
 
+    def candidate_map(self) -> dict[int, str]:
+        """Public view of the pass's eligibility decision: original-kernel
+        index -> queue kind, for everything the compiler *would* decouple.
+        Used by the certifier's missed-optimization scan (RPL051)."""
+        _, excluded = self._included_branches()
+        return self._find_candidates(excluded)
+
     def _find_candidates(self, excluded: set[int]) -> dict[int, str]:
         """Map of instruction index -> queue kind ('data'/'addr'/'pred')."""
         out: dict[int, str] = {}
@@ -257,13 +279,17 @@ class Decoupler:
                                 if k == "pred"),
             removed_instructions=removed,
             queue_origin={qid: idx for idx, qid in queue_ids.items()},
+            affine_origin=[idx for idx, _ in affine_list],
+            nonaffine_origin=[idx for idx, _ in nonaffine_list],
         )
         return program
 
     def _not_decoupled(self, reason: str) -> DecoupledProgram:
         return DecoupledProgram(original=self.kernel, affine=None,
                                 nonaffine=self.kernel,
-                                analysis=self.analysis, notes=[reason])
+                                analysis=self.analysis, notes=[reason],
+                                nonaffine_origin=list(
+                                    range(len(self.kernel))))
 
     def _build_affine(self, candidates: dict[int, str],
                       queue_ids: dict[int, int], included: set[int],

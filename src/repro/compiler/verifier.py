@@ -71,8 +71,26 @@ def _loc(kernel: Kernel, index: int) -> str:
     return f"{kernel.name}[{index}]{line}"
 
 
-def verify(program: DecoupledProgram) -> VerificationReport:
-    """Run every check; returns a report (never raises)."""
+def verify(program: DecoupledProgram,
+           semantic: bool = True) -> VerificationReport:
+    """Run every structural check; with ``semantic=True`` (the default)
+    also run the translation-validation certifier
+    (:mod:`repro.analysis.certify`) and fold its errors into the report,
+    upgrading verification from structural to semantic.  Returns a
+    report (never raises)."""
+    report = _verify_structural(program)
+    if semantic and program.is_decoupled:
+        # Imported lazily: analysis.certify itself calls back into this
+        # module for the structural half.
+        from ..analysis.certify import certify_program
+        for diag in certify_program(program).errors:
+            if diag.code == "RPL050":
+                continue                 # already present structurally
+            report.errors.append(diag.render())
+    return report
+
+
+def _verify_structural(program: DecoupledProgram) -> VerificationReport:
     report = VerificationReport()
     if not program.is_decoupled:
         return report
@@ -104,19 +122,35 @@ def verify(program: DecoupledProgram) -> VerificationReport:
             deqs[token.queue_id] = inst
 
     # Pairing.
-    if set(enqs) != set(deqs):
-        report.errors.append(
-            f"queue id mismatch: enq={sorted(enqs)} deq={sorted(deqs)}")
-        return report
-    if set(enqs) != set(program.queue_origin):
-        report.errors.append("queue ids do not match recorded origins")
-
-    kind_of_enq = {Opcode.ENQ_DATA: "data", Opcode.ENQ_ADDR: "addr",
-                   Opcode.ENQ_PRED: "pred"}
     enq_index = {inst.uid: i
                  for i, inst in enumerate(program.affine.instructions)}
     deq_index = {inst.uid: i
                  for i, inst in enumerate(program.nonaffine.instructions)}
+    if set(enqs) != set(deqs):
+        where = []
+        for qid in sorted(set(enqs) - set(deqs)):
+            where.append(f"queue {qid} enq at "
+                         f"{_loc(program.affine, enq_index[enqs[qid].uid])} "
+                         "has no deq")
+        for qid in sorted(set(deqs) - set(enqs)):
+            where.append(f"queue {qid} deq at "
+                         f"{_loc(program.nonaffine, deq_index[deqs[qid].uid])} "
+                         "has no enq")
+        report.errors.append(
+            f"queue id mismatch: enq={sorted(enqs)} deq={sorted(deqs)} "
+            f"({'; '.join(where)})")
+        return report
+    if set(enqs) != set(program.queue_origin):
+        stray = sorted(set(enqs) ^ set(program.queue_origin))
+        locs = [_loc(program.affine, enq_index[enqs[q].uid])
+                for q in stray if q in enqs]
+        report.errors.append(
+            f"queue ids do not match recorded origins: "
+            f"unmatched={stray}"
+            + (f" (enq at {', '.join(locs)})" if locs else ""))
+
+    kind_of_enq = {Opcode.ENQ_DATA: "data", Opcode.ENQ_ADDR: "addr",
+                   Opcode.ENQ_PRED: "pred"}
     for qid, enq in enqs.items():
         deq = deqs[qid]
         where = (f"enq at {_loc(program.affine, enq_index[enq.uid])}, "
@@ -163,13 +197,19 @@ def verify(program: DecoupledProgram) -> VerificationReport:
     check_order(program.nonaffine, nonaffine_ids, "non-affine stream")
 
     # Barrier counts.
-    affine_bars = sum(1 for i in program.affine.instructions
-                      if i.is_barrier)
-    nonaffine_bars = sum(1 for i in program.nonaffine.instructions
-                         if i.is_barrier)
-    if affine_bars != nonaffine_bars:
+    affine_bars = [i for i, inst in enumerate(program.affine.instructions)
+                   if inst.is_barrier]
+    nonaffine_bars = [i for i, inst
+                      in enumerate(program.nonaffine.instructions)
+                      if inst.is_barrier]
+    if len(affine_bars) != len(nonaffine_bars):
+        spare_kernel, spare = (
+            (program.affine, affine_bars[len(nonaffine_bars):])
+            if len(affine_bars) > len(nonaffine_bars)
+            else (program.nonaffine, nonaffine_bars[len(affine_bars):]))
+        locs = ", ".join(_loc(spare_kernel, i) for i in spare)
         report.errors.append(
-            f"barrier replication mismatch: affine {affine_bars} vs "
-            f"non-affine {nonaffine_bars}")
+            f"barrier replication mismatch: affine {len(affine_bars)} vs "
+            f"non-affine {len(nonaffine_bars)} (unmatched at {locs})")
 
     return report

@@ -1,0 +1,142 @@
+"""The decoupler-mutation campaign: every seeded defect class must be
+caught statically by the certifier or demonstrated dynamically against
+the functional oracle — never both missed (a silent escape)."""
+
+import random
+
+import pytest
+
+from repro.analysis.certify import certify_program
+from repro.analysis.mutate import (
+    CAMPAIGN_CONFIG,
+    MUTATORS,
+    Mutant,
+    Target,
+    _synthetic_launch,
+    _validate_dynamic,
+    default_targets,
+    run_mutation_campaign,
+)
+from repro.compiler.decouple import decouple
+
+
+def _synth_target():
+    return Target("SYNTH", _synthetic_launch)
+
+
+def _synth_program():
+    return decouple(_synthetic_launch().kernel)
+
+
+# ---------------------------------------------------------------------------
+# Every class applies to — and is caught on — the synthetic target.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def synth_report():
+    return run_mutation_campaign(targets=[_synth_target()])
+
+
+def test_synthetic_target_exercises_every_class(synth_report):
+    assert synth_report.unexercised() == []
+    assert {c.klass for c in synth_report.cases} == set(MUTATORS)
+
+
+def test_no_silent_escapes_on_synthetic_target(synth_report):
+    assert synth_report.ok, synth_report.render()
+    for case in synth_report.cases:
+        assert case.outcome in ("caught-static", "caught-dynamic"), \
+            f"{case.klass}: {case.outcome} ({case.detail})"
+
+
+def test_every_mutant_is_caught_statically_on_synth(synth_report):
+    # The certifier is the first line of defense: on the synthetic
+    # kernel every defect class must fall to static analysis alone.
+    for case in synth_report.cases:
+        assert case.outcome == "caught-static", \
+            f"{case.klass} leaked past the certifier: {case.detail}"
+        assert case.codes, case.detail
+
+
+def test_expected_codes_per_class(synth_report):
+    by_class = {c.klass: set(c.codes) for c in synth_report.cases}
+    assert "RPL053" in by_class["stale_loop"]
+    assert "RPL054" in by_class["mod_divisor"]
+    assert "RPL050" in by_class["barrier_drop"]
+    assert "RPL050" in by_class["enq_reorder"]
+    assert "RPL052" in by_class["coeff_perturb"]
+    assert "RPL051" in by_class["slice_widen"]
+
+
+# ---------------------------------------------------------------------------
+# The dynamic detector (used when a mutant certifies clean).
+# ---------------------------------------------------------------------------
+
+def test_dynamic_detector_flags_perturbed_address():
+    program = _synth_program()
+    mutant = MUTATORS["coeff_perturb"](program, random.Random(0))
+    assert mutant is not None
+    outcome, detail = _validate_dynamic(_synth_target(), mutant,
+                                        CAMPAIGN_CONFIG)
+    assert outcome == "caught-dynamic", detail
+
+
+def test_dynamic_detector_accepts_the_unmutated_program():
+    # A bit-identical run is exactly what "silent escape" means; the
+    # clean program must land there, proving the detector is not vacuous.
+    program = _synth_program()
+    fake = Mutant("identity", "no mutation applied", program)
+    outcome, _ = _validate_dynamic(_synth_target(), fake, CAMPAIGN_CONFIG)
+    assert outcome == "silent-escape"
+
+
+# ---------------------------------------------------------------------------
+# Campaign bookkeeping.
+# ---------------------------------------------------------------------------
+
+def test_unexercised_class_fails_the_campaign():
+    report = run_mutation_campaign(
+        targets=[Target("BP", lambda: __import__(
+            "repro.workloads", fromlist=["get"]).get("BP").launch("tiny"))],
+        classes=["mod_divisor"])
+    assert report.unexercised() == ["mod_divisor"]
+    assert not report.ok
+
+
+def test_unknown_class_is_rejected():
+    with pytest.raises(ValueError, match="unknown mutation class"):
+        run_mutation_campaign(targets=[_synth_target()],
+                              classes=["nonsense"])
+
+
+def test_mutators_skip_without_sites():
+    # BP has no rem and no displaced enqueue: those mutators return None
+    # rather than inventing a site.
+    from repro.workloads import get
+    program = decouple(get("BP").launch("tiny").kernel)
+    assert MUTATORS["mod_divisor"](program, random.Random(0)) is None
+    assert MUTATORS["disp_drop"](program, random.Random(0)) is None
+
+
+def test_mutants_leave_the_parent_program_untouched():
+    program = _synth_program()
+    before = [str(i) for i in program.affine.instructions]
+    for klass in MUTATORS:
+        MUTATORS[klass](program, random.Random(1))
+    assert [str(i) for i in program.affine.instructions] == before
+    assert certify_program(program).diagnostics == []
+
+
+def test_report_serialization(synth_report):
+    d = synth_report.to_dict()
+    assert d["ok"] is True
+    assert d["counts"]["caught-static"] == len(synth_report.cases)
+    rendered = synth_report.render()
+    assert "no silent escapes" in rendered
+
+
+def test_default_targets_cover_benchmarks_and_fuzz():
+    names = [t.name for t in default_targets()]
+    assert "SYNTH" in names
+    assert any(n.startswith("FUZZ-") for n in names)
+    assert len(names) >= 5

@@ -157,3 +157,37 @@ class TestFaultsCommand:
         assert main(["faults", "--seeds", "0:1",
                      "--classes", "atq_drop", "--safe-mode"]) == 0
         assert "fallback=1" in capsys.readouterr().out
+
+
+class TestCertifyCommand:
+    def test_certify_benchmarks(self, capsys):
+        assert main(["certify", "ST", "CS"]) == 0
+        out = capsys.readouterr().out
+        assert "== ST:" in out and "proven equivalent" in out
+        assert "certify: 2 target(s) clean" in out
+
+    def test_certify_fuzz_seeds(self, capsys):
+        assert main(["certify", "--fuzz", "0:2"]) == 0
+        out = capsys.readouterr().out
+        assert "== fuzz-0:" in out and "== fuzz-1:" in out
+
+    def test_certify_json(self, capsys):
+        import json
+        assert main(["certify", "ST", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ST"]["errors"] == 0
+
+    def test_certify_unknown_benchmark(self, capsys):
+        assert main(["certify", "NOPE"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_certify_campaign_single_class(self, capsys):
+        assert main(["certify", "--campaign",
+                     "--classes", "barrier_drop"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "mutation campaign" in out
+        assert "SILENT ESCAPE" not in out
+
+    def test_certify_campaign_rejects_unknown_class(self, capsys):
+        assert main(["certify", "--campaign", "--classes", "bitrot"]) == 2
+        assert "unknown mutation class" in capsys.readouterr().err

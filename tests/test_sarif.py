@@ -1,0 +1,95 @@
+"""Tests for the SARIF 2.1.0 exporter (:mod:`repro.analysis.sarif`)."""
+
+import json
+
+from repro.analysis.diagnostics import (
+    CODES,
+    LintReport,
+    make_diagnostic,
+)
+from repro.analysis.sarif import SCHEMA_VERSION, to_sarif, write_sarif
+from repro.cli import main
+
+
+def _report():
+    report = LintReport()
+    report.add(make_diagnostic("RPL052", "address off by four", "kern"))
+    diag = make_diagnostic("RPL051", "missed candidate", "kern",
+                           inst_index=None)
+    report.add(diag)
+    return report.finalize()
+
+
+def test_document_shape():
+    doc = to_sarif(_report())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["properties"]["schemaVersion"] == SCHEMA_VERSION
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert len(run["results"]) == 2
+
+
+def test_rules_mirror_the_code_registry():
+    run = to_sarif(LintReport())["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(CODES)
+    by_id = {r["id"]: r for r in rules}
+    assert by_id["RPL052"]["defaultConfiguration"]["level"] == "error"
+    assert by_id["RPL051"]["defaultConfiguration"]["level"] == "warning"
+    assert by_id["RPL054"]["shortDescription"]["text"] == \
+        CODES["RPL054"][1]
+
+
+def test_result_levels_and_locations():
+    run = to_sarif(_report())["runs"][0]
+    by_rule = {r["ruleId"]: r for r in run["results"]}
+    assert by_rule["RPL052"]["level"] == "error"
+    assert by_rule["RPL051"]["level"] == "warning"
+    loc = by_rule["RPL052"]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "kernels/kern.reproasm"
+    # No source line recorded: regions are 1-based, so line 1.
+    assert loc["region"]["startLine"] == 1
+
+
+def test_source_lines_flow_into_regions():
+    from repro.isa import parse_kernel
+    kernel = parse_kernel("""
+        add r0, %tid.x, 1;
+        bar;
+    """, name="lined", params=())
+    report = LintReport()
+    report.add(make_diagnostic("RPL011", "divergent barrier", kernel,
+                               inst_index=1))
+    run = to_sarif(report)["runs"][0]
+    line = run["results"][0]["locations"][0]["physicalLocation"][
+        "region"]["startLine"]
+    assert line == kernel.instructions[1].source_line
+    assert line > 1
+
+
+def test_write_sarif_round_trips(tmp_path):
+    path = tmp_path / "out.sarif"
+    write_sarif(_report(), str(path), tool_name="repro-certify")
+    doc = json.loads(path.read_text())
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-certify"
+    assert doc["runs"][0]["properties"]["errors"] == 1
+    assert doc["runs"][0]["properties"]["warnings"] == 1
+    assert doc["runs"][0]["artifacts"] == [
+        {"location": {"uri": "kernels/kern.reproasm"}}]
+
+
+def test_cli_certify_writes_sarif(tmp_path, capsys):
+    path = tmp_path / "certify.sarif"
+    assert main(["certify", "ST", "--sarif", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "proven equivalent" in out
+    doc = json.loads(path.read_text())
+    assert doc["runs"][0]["properties"]["schemaVersion"] == SCHEMA_VERSION
+    assert doc["runs"][0]["results"] == []
+
+
+def test_cli_lint_writes_sarif(tmp_path):
+    path = tmp_path / "lint.sarif"
+    assert main(["lint", "ST", "--sarif", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["version"] == "2.1.0"

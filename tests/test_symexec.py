@@ -1,0 +1,235 @@
+"""Unit and differential tests for the symbolic evaluator
+(:mod:`repro.analysis.symexec`)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.symexec import (
+    NotConcretizable,
+    Pred,
+    concretize,
+    const,
+    symbol,
+    symbols_of,
+    symexec,
+    uncertifiable_kinds,
+)
+from repro.isa import CmpOp, KernelBuilder
+from repro.sim import GlobalMemory, KernelLaunch
+from repro.sim.functional import run_functional
+
+
+def _gtid():
+    return symbol("tid.x") + symbol("ctaid.x") * symbol("ntid.x")
+
+
+def _lane_env(launch):
+    """Symbol environment with one entry per lane of a 1-D launch."""
+    bx = launch.block_dim[0]
+    gx = launch.grid_dim[0]
+    env = {
+        "tid.x": np.tile(np.arange(bx), gx),
+        "ctaid.x": np.repeat(np.arange(gx), bx),
+        "ntid.x": bx,
+        "nctaid.x": gx,
+    }
+    for name, value in launch.params.items():
+        env[f"param:{name}"] = value
+    return env
+
+
+def _launch(kernel, params, grid=2, block=16):
+    memory = GlobalMemory(4096)
+    memory.words[:] = (13 * np.arange(len(memory.words),
+                                      dtype=memory.words.dtype)) % 97
+    return KernelLaunch(kernel=kernel, grid_dim=(grid, 1, 1),
+                        block_dim=(block, 1, 1), params=params,
+                        memory=memory)
+
+
+# ---------------------------------------------------------------------------
+# Expression domain.
+# ---------------------------------------------------------------------------
+
+class TestDomain:
+    def test_polynomial_canonicalization(self):
+        a, b = symbol("a"), symbol("b")
+        assert a + b == b + a
+        assert a * b == b * a
+        assert (a + b) * (a + b) == a * a + const(2) * a * b + b * b
+        assert a - a == const(0)
+        assert const(3) * a - a - a - a == const(0)
+
+    def test_constant_folding(self):
+        assert const(2) + const(3) == const(5)
+        assert const(2) * const(3) == const(6)
+        assert symbols_of(const(7)) == set()
+
+    def test_cmp_pred_folds_constants(self):
+        from repro.analysis.symexec import FALSE, TRUE, cmp_pred
+        assert cmp_pred(CmpOp.LT, const(1), const(2)) == TRUE
+        assert cmp_pred(CmpOp.GE, const(1), const(2)) == FALSE
+        a = symbol("a")
+        assert cmp_pred(CmpOp.EQ, a, a) == TRUE
+
+    def test_concretize_polynomial(self):
+        x = symbol("x")
+        expr = x * x + const(3) * x + const(2)
+        vals = np.arange(5)
+        np.testing.assert_array_equal(concretize(expr, {"x": vals}),
+                                      vals * vals + 3 * vals + 2)
+
+    def test_concretize_raises_on_opaque(self):
+        from repro.analysis.symexec import atom_expr
+        expr = atom_expr("opaque", ("loop", "L", "r"))
+        with pytest.raises(NotConcretizable):
+            concretize(expr, {"x": np.arange(2)})
+        assert uncertifiable_kinds(expr) == {"opaque"}
+
+
+# ---------------------------------------------------------------------------
+# Closed forms of whole kernels.
+# ---------------------------------------------------------------------------
+
+class TestClosedForms:
+    def test_straightline_store_address(self):
+        kb = KernelBuilder("lin", params=("A",))
+        gtid = kb.global_tid_x()
+        addr = kb.mad(gtid, 4, kb.param("A"))
+        kb.store(addr, gtid)
+        sym = symexec(kb.build())
+        site = next(s for s in sym.sites.values() if s.kind == "store")
+        assert site.value == symbol("param:A") + const(4) * _gtid()
+        assert site.guard is None
+        assert site.path == frozenset()
+        assert site.loops == ()
+
+    def test_divergent_guard_is_path_condition(self):
+        kb = KernelBuilder("guarded", params=("A", "n"))
+        gtid = kb.global_tid_x()
+        p = kb.setp(CmpOp.LT, gtid, kb.param("n"))
+        with kb.if_then(p):
+            kb.store(kb.mad(gtid, 4, kb.param("A")), gtid)
+        sym = symexec(kb.build())
+        site = next(s for s in sym.sites.values() if s.kind == "store")
+        assert site.path, "guarded store must carry a path condition"
+        (cond, polarity), = site.path
+        assert polarity is True
+        assert cond == Pred("cmp", (CmpOp.LT, _gtid(), symbol("param:n")))
+
+    def test_loop_counter_widens_to_iteration_form(self):
+        kb = KernelBuilder("loopy", params=("A",))
+        gtid = kb.global_tid_x()
+        base = kb.mad(gtid, 16, kb.param("A"))
+        i = kb.loop_counter(4)
+        kb.store(kb.add(base, kb.shl(i, 2)), i)
+        kb.end_loop()
+        sym = symexec(kb.build())
+        site = next(s for s in sym.sites.values() if s.kind == "store")
+        assert len(site.loops) == 1
+        loop = sym.loops[site.loops[0]]
+        assert loop.trip == const(4)
+        itersym = symbol(loop.sym)
+        expected = symbol("param:A") + const(16) * _gtid() \
+            + const(4) * itersym
+        assert site.value == expected
+
+    def test_quadratic_accumulator_widens(self):
+        kb = KernelBuilder("quad", params=("O",))
+        gtid = kb.global_tid_x()
+        acc = kb.mov(0)
+        i = kb.loop_counter(5)
+        kb.assign(acc, kb.add(acc, kb.mad(i, 2, gtid)))
+        kb.end_loop()
+        kb.store(kb.mad(gtid, 4, kb.param("O")), acc)
+        sym = symexec(kb.build())
+        store_idx, inst = next(
+            (i, s.inst) for i, s in sym.sites.items() if s.kind == "store")
+        value = sym.value_at(store_idx, inst.srcs[0])
+        # sum_{i=0..4} (2i + gtid) = 20 + 5*gtid
+        assert value == const(20) + const(5) * _gtid()
+
+
+# ---------------------------------------------------------------------------
+# Differential: concretized closed forms vs the functional executor.
+# ---------------------------------------------------------------------------
+
+def _check_single_store(kernel, params, grid=2, block=16):
+    """The kernel's one top-level unguarded store, concretized, must
+    reproduce the functional executor's memory image."""
+    launch = _launch(kernel, params, grid=grid, block=block)
+    expected = launch.memory.words.copy()
+
+    sym = symexec(kernel)
+    env = _lane_env(launch)
+    store_idx, site = next(
+        (i, s) for i, s in sym.sites.items() if s.kind == "store")
+    addr = concretize(site.value, env).astype(np.int64)
+    value = concretize(sym.value_at(store_idx, site.inst.srcs[0]), env)
+    expected[addr // 4] = value
+
+    run_functional(launch)
+    np.testing.assert_array_equal(launch.memory.words, expected)
+
+
+class TestDifferential:
+    def test_affine_chain(self):
+        kb = KernelBuilder("chain", params=("O", "n"))
+        gtid = kb.global_tid_x()
+        t = kb.mad(gtid, 3, kb.param("n"))
+        u = kb.sub(kb.shl(t, 1), gtid)
+        kb.store(kb.mad(gtid, 4, kb.param("O")), u)
+        _check_single_store(kb.build(), {"O": 2048, "n": 5})
+
+    def test_mod_and_div_atoms(self):
+        kb = KernelBuilder("modal", params=("O",))
+        gtid = kb.global_tid_x()
+        t = kb.add(kb.rem(gtid, 7), kb.div(gtid, 3))
+        u = kb.mul(kb.min(t, 9), kb.max(gtid, 2))
+        kb.store(kb.mad(gtid, 4, kb.param("O")), u)
+        _check_single_store(kb.build(), {"O": 2048})
+
+    def test_loop_accumulator(self):
+        kb = KernelBuilder("acc", params=("O", "n"))
+        gtid = kb.global_tid_x()
+        acc = kb.mov(0)
+        i = kb.loop_counter(6)
+        kb.assign(acc, kb.add(acc, kb.mad(i, 3, gtid)))
+        kb.end_loop()
+        kb.store(kb.mad(gtid, 4, kb.param("O")), acc)
+        _check_single_store(kb.build(), {"O": 2048, "n": 6})
+
+    def test_divergent_guarded_store(self):
+        kb = KernelBuilder("div", params=("O", "n"))
+        gtid = kb.global_tid_x()
+        p = kb.setp(CmpOp.LT, gtid, kb.param("n"))
+        with kb.if_then(p):
+            kb.store(kb.mad(gtid, 4, kb.param("O")), kb.add(gtid, 100))
+        kernel = kb.build()
+        launch = _launch(kernel, {"O": 2048, "n": 19})
+        expected = launch.memory.words.copy()
+
+        sym = symexec(kernel)
+        env = _lane_env(launch)
+        store_idx, site = next(
+            (i, s) for i, s in sym.sites.items() if s.kind == "store")
+        from repro.analysis.symexec import _conc_condset
+        shape = env["tid.x"].shape
+        mask = _conc_condset(site.path, env, shape)
+        addr = concretize(site.value, env).astype(np.int64)
+        value = concretize(sym.value_at(store_idx, site.inst.srcs[0]), env)
+        expected[addr[mask] // 4] = value[mask]
+
+        run_functional(launch)
+        np.testing.assert_array_equal(launch.memory.words, expected)
+
+    def test_per_lane_divergent_trip_counts(self):
+        kb = KernelBuilder("ragged", params=("O",))
+        gtid = kb.global_tid_x()
+        bound = kb.add(kb.rem(gtid, 3), 1)
+        acc = kb.mov(0)
+        kb.loop_counter(bound)
+        kb.assign(acc, kb.add(acc, 2))
+        kb.end_loop()
+        kb.store(kb.mad(gtid, 4, kb.param("O")), acc)
+        _check_single_store(kb.build(), {"O": 2048})
