@@ -40,6 +40,11 @@ def _value_stride(values) -> float | None:
 class CAESM(SM):
     """SM with two affine functional units (runtime affine tracking)."""
 
+    # The issue interval depends on runtime affine-eligibility decided
+    # inside issue() — not the static decode — so the batched engine's
+    # chain replay (which assumes plain SIMT-lane ALU timing) opts out.
+    chain_ok = False
+
     def __init__(self, gpu, index: int):
         super().__init__(gpu, index)
         self._issued_affine = False

@@ -104,6 +104,14 @@ class GPUConfig:
     # (bitmask SIMT stacks, pooled register file, compiled lane ops).  Both
     # must produce bit-identical memory images and Stats.
     datapath: str = "scalar"
+    # Issue-engine selection: "walk" is the reference per-warp scheduler
+    # walk (the differential oracle, kept verbatim); "batched" replaces the
+    # walk with incrementally maintained readiness columns, a rotated
+    # first-set-bit selection, ALU dependence-chain execution, and a global
+    # next-wake heap on the GPU loop.  Both must produce bit-identical
+    # cycles and Stats.  Tracing, fault injection, and runtime checkers pin
+    # the walk engine (they are defined per executed scheduler walk).
+    issue_engine: str = "walk"
     dac: DACConfig = field(default_factory=DACConfig)
     cae: CAEConfig = field(default_factory=CAEConfig)
     mta: MTAConfig = field(default_factory=MTAConfig)
@@ -149,6 +157,8 @@ class GPUConfig:
     def __post_init__(self):
         if self.datapath not in ("scalar", "vector"):
             raise ValueError(f"unknown datapath: {self.datapath}")
+        if self.issue_engine not in ("walk", "batched"):
+            raise ValueError(f"unknown issue engine: {self.issue_engine}")
 
     def with_technique(self, technique: str) -> "GPUConfig":
         if technique not in ("baseline", "dac", "cae", "mta"):
@@ -159,6 +169,11 @@ class GPUConfig:
         if datapath not in ("scalar", "vector"):
             raise ValueError(f"unknown datapath: {datapath}")
         return replace(self, datapath=datapath)
+
+    def with_issue_engine(self, issue_engine: str) -> "GPUConfig":
+        if issue_engine not in ("walk", "batched"):
+            raise ValueError(f"unknown issue engine: {issue_engine}")
+        return replace(self, issue_engine=issue_engine)
 
     def with_perfect_memory(self) -> "GPUConfig":
         return replace(self, perfect_memory=True)

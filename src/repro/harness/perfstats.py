@@ -371,6 +371,9 @@ def history_report(entries: list[dict]) -> str:
     if not entries:
         return ("no perf history yet: BENCH_history.jsonl is empty or "
                 "missing (every `repro perf` run appends one line)")
+    # Backfilled entries land at the end of the file with older
+    # timestamps; the trajectory is chronological, not file order.
+    entries = sorted(entries, key=lambda e: e.get("utc") or "")
     rows = []
     for entry in entries:
         sha = (entry.get("git") or {}).get("sha") or "-"

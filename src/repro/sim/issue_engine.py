@@ -1,0 +1,684 @@
+"""Batched cross-warp issue engine (``GPUConfig.issue_engine="batched"``).
+
+The walk engine (sim/scheduler.py, kept verbatim as the pinned differential
+oracle) re-derives warp readiness by calling ``try_issue`` on every owned
+warp each executed cycle.  This engine keeps readiness *materialized* in
+per-scheduler bit columns indexed by warp position and updates them only
+when a wake hook reports that a warp's readiness inputs changed:
+
+- ``ready_base``   — the warp would issue ignoring LSU gating;
+- ``lsu_gate``     — issue additionally needs ``now >= sm.lsu_free``;
+- ``stall_*``      — the per-blocked-cycle DAC dequeue stall counter the
+                     walk would emit for this warp (pred-record missing,
+                     address record missing, fills outstanding).
+
+The columns are Python-int bitmasks (one bit per warp slot position — the
+same packed-lane representation the PR-7 vector datapath uses for SIMT
+masks); ``readiness_columns()`` exposes them as numpy bool vectors for the
+property tests.  ``tick`` selects the issuer with one rotated first-set-bit
+over the ready mask instead of an O(blocked-prefix) walk, and derives the
+PR-5 stall-replay contract from the same masks:
+
+- when something issues, each stall-coded warp strictly *before* the issuer
+  in rotated order contributes one count of its key (exactly the walk's
+  ``note_stall`` calls);
+- when nothing issues, every stall-coded warp contributes one count, and
+  the aggregate is recorded as the scheduler's replay tuple.  While the
+  scheduler then sleeps, the replay is *lazy*: instead of being re-added on
+  every executed cycle (the walk's asleep tick), the engine counts executed
+  cycles (``exec_iter``) and multiplies out the deltas when the scheduler
+  wakes.  Whether the wake cycle itself is included depends on the waker's
+  tick rank relative to the sleeper — a later-rank (or same-cycle event)
+  waker means the walk's sleeper already replayed this cycle.
+
+Because DAC stall counters accrue per *executed* cycle, the set of executed
+cycles is part of the timing semantics.  The engine therefore replaces the
+walk loop's per-blocked-cycle candidate rebuild (sim/gpu.py) with a global
+next-wake heap plus the awake set: ``lsu_free`` assignments push heap
+entries validated on pop (the value only ever increases, so a stale
+entry's replacement is already in the heap), chain execution pushes
+*forced* entries replicating the cycles the walk would have executed
+around each issue boundary, and scheduler busy windows need no entries at
+all — a busy scheduler keeps its awake bit (its tick is skipped by a
+two-load check), so the blocked-cycle scan over awake units finds every
+``busy_until`` bound the walk's full rescan would.
+
+Chain execution: when the selected warp's next instructions form a run of
+timing-trivial ALU ops (no memory / branch / barrier / exit / DAC queue
+ops) and every other warp on the scheduler is done and no CTA can arrive,
+the whole dependence chain is issued in one tick by replaying ``sm.issue``
+at the exact future boundary times the walk would have used (dependence
+release times are computable because ALU latencies are static).  Register
+values are issue-time functional in this simulator and the chain executes
+in program order, so the data side is unchanged; events scheduled early
+commute because release callbacks only touch per-warp scoreboard state.
+
+Tracing, fault injection, and runtime checkers pin the walk engine (GPU
+downgrades transparently) — their contracts are defined per executed
+scheduler walk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from heapq import heappop, heappush
+
+from .scheduler import Scheduler
+from .warp import WarpContext
+
+#: stall_code -> Stats key (index 0 = no per-blocked-cycle stall counter).
+STALL_KEYS = (None, "dac.stall_pred_record", "dac.stall_no_record",
+              "dac.stall_fill")
+
+_LSU = 1       # candidate: an SM's LSU frees up
+_FORCED = 2    # candidate: chain-execution boundary cycle (always valid)
+
+_CHAIN_CAP = 64       # max ops appended per chain (keeps ticks bounded)
+_CHAIN_WALL = 8192    # conservative bound on a chain's cycle extent
+
+
+def _chainable(decoded) -> bool:
+    """Timing-trivial ALU op: static latency, no structural resources."""
+    return not (decoded.is_exit or decoded.is_barrier or decoded.is_branch
+                or decoded.is_memory or decoded.is_enq) \
+        and decoded.deq_token is None
+
+
+class BatchedScheduler(Scheduler):
+    """Drop-in scheduler whose tick selects from materialized readiness
+    columns.  Produces bit-identical cycles and Stats to the walk."""
+
+    #: Debug invariant: after each dirty refresh, assert the columns equal
+    #: a from-scratch reclassification (set by the property tests).
+    verify_columns = False
+
+    #: A busy scheduler's tick is a no-op returning False; the run loop
+    #: skips the call (expansion units return True mid-expansion instead).
+    _busy_progress = False
+
+    def __init__(self, sm, index, policy, active_size, issue_interval):
+        super().__init__(sm, index, policy, active_size, issue_interval)
+        self._dirty: set = set()
+        self._pos: dict = {}
+        self._ready_base = 0
+        self._lsu_gate = 0
+        self._stall_pred = 0
+        self._stall_norec = 0
+        self._stall_fill = 0
+        self._replay: tuple | None = None
+        self._replay_iter = 0
+        self._engine = None          # BatchedState, set once the GPU wires up
+        self._rank = -1
+        self._bit = 0
+
+    # ---- wake plumbing --------------------------------------------------
+
+    def _wake_only(self) -> None:
+        # Only a sleeping scheduler has state to restore (the awake bit is
+        # set exactly while not asleep, and a replay implies asleep), so
+        # the awake-path cost is one attribute check.
+        if self._asleep:
+            if self._replay is not None:
+                engine = self._engine
+                self._flush_replay(engine is not None
+                                   and engine.cur_rank > self._rank)
+            self._asleep = False
+            engine = self._engine
+            if engine is not None:
+                engine.awake |= self._bit
+
+    def wake(self) -> None:
+        self._wake_only()
+        if self.warps:
+            self._dirty.update(self.warps)
+
+    def wake_warp(self, warp) -> None:
+        self._dirty.add(warp)
+        if self._asleep:
+            self._wake_only()
+
+    def release_warp(self, warp) -> None:
+        """A scoreboard release for ``warp`` (warp.py routes here instead
+        of :meth:`wake_warp`): the only readiness input that changed is the
+        warp's own scoreboard, so for the plain-next-op common case the
+        base reclassification happens inline — classify_warp falls back to
+        exactly these rules, and the warp's stall bits are either already
+        clear (a stall code needs a dequeue next-op) or pending a refresh
+        (the warp is still in the dirty set, which recomputes them before
+        the masks are read)."""
+        if self._asleep:
+            self._wake_only()
+        if warp.done or warp.at_barrier:
+            return                    # columns unchanged by a release
+        nd = warp.code[warp.pc]
+        if nd.deq_token is not None:
+            self._dirty.add(warp)     # DACSM-specific classification
+            return
+        i = self._pos.get(warp)
+        if i is None:
+            return
+        bit = 1 << i
+        pending = warp.pending
+        for name in nd.scoreboard:
+            if pending.get(name, 0):
+                self._ready_base &= ~bit
+                self._lsu_gate &= ~bit
+                return
+        self._ready_base |= bit
+        if nd.needs_lsu:
+            self._lsu_gate |= bit
+        else:
+            self._lsu_gate &= ~bit
+
+    def add_warp(self, warp) -> None:
+        self._pos[warp] = len(self.warps)
+        self.warps.append(warp)
+        warp.sched = self
+        self.wake_warp(warp)
+
+    def remove_warp(self, warp) -> None:
+        warps = self.warps
+        pos = self._pos
+        i = pos.pop(warp)
+        last = warps.pop()
+        tail = len(warps)
+        if last is not warp:
+            warps[i] = last
+            pos[last] = i
+            self._dirty.add(last)     # its column bit moves to position i
+        keep = ~((1 << tail) | (1 << i))
+        self._ready_base &= keep
+        self._lsu_gate &= keep
+        self._stall_pred &= keep
+        self._stall_norec &= keep
+        self._stall_fill &= keep
+        warp.sched = None
+        self._wake_only()
+
+    # ---- replay accounting ----------------------------------------------
+
+    def _flush_replay(self, include_current: bool) -> None:
+        """Multiply out the lazy per-executed-cycle stall replay.  The walk
+        replayed at every executed cycle strictly after the blocking one;
+        ``include_current`` adds the in-flight cycle (waker ticked after
+        this scheduler, or end-of-run flush)."""
+        rep = self._replay
+        self._replay = None
+        cycles = self._engine.exec_iter - self._replay_iter - 1
+        if include_current:
+            cycles += 1
+        if cycles > 0:
+            stats = self.sm.stats
+            for key, count in rep:
+                stats.add(key, count * cycles)
+
+    # ---- readiness columns ----------------------------------------------
+
+    def _refresh_dirty(self) -> None:
+        classify = self.sm.classify_warp
+        pos = self._pos
+        rb = self._ready_base
+        lg = self._lsu_gate
+        s1 = self._stall_pred
+        s2 = self._stall_norec
+        s3 = self._stall_fill
+        for warp in self._dirty:
+            i = pos.get(warp)
+            if i is None:
+                continue                      # retired since being dirtied
+            bit = 1 << i
+            nbit = ~bit
+            ready, gate, stall = classify(warp)
+            rb = (rb | bit) if ready else (rb & nbit)
+            lg = (lg | bit) if gate else (lg & nbit)
+            s1 = (s1 | bit) if stall == 1 else (s1 & nbit)
+            s2 = (s2 | bit) if stall == 2 else (s2 & nbit)
+            s3 = (s3 | bit) if stall == 3 else (s3 & nbit)
+        self._dirty.clear()
+        self._ready_base = rb
+        self._lsu_gate = lg
+        self._stall_pred = s1
+        self._stall_norec = s2
+        self._stall_fill = s3
+
+    def readiness_columns(self) -> dict:
+        """The columns as numpy bool vectors indexed by warp position (the
+        property tests compare these against a from-scratch recompute)."""
+        import numpy as np
+        n = len(self.warps)
+        out = {}
+        for name, mask in (("ready_base", self._ready_base),
+                           ("lsu_gate", self._lsu_gate),
+                           ("stall_pred", self._stall_pred),
+                           ("stall_norec", self._stall_norec),
+                           ("stall_fill", self._stall_fill)):
+            out[name] = np.fromiter(((mask >> i) & 1 for i in range(n)),
+                                    dtype=bool, count=n)
+        return out
+
+    def _assert_columns(self) -> None:
+        classify = self.sm.classify_warp
+        for warp, i in self._pos.items():
+            ready, gate, stall = classify(warp)
+            bit = 1 << i
+            got = (bool(self._ready_base & bit), bool(self._lsu_gate & bit),
+                   (1 if self._stall_pred & bit else
+                    2 if self._stall_norec & bit else
+                    3 if self._stall_fill & bit else 0))
+            if got != (ready, gate, stall):
+                raise AssertionError(
+                    f"stale readiness for sm{self.sm.index} sched"
+                    f"{self.index} pos {i}: cached {got}, "
+                    f"fresh {(ready, gate, stall)}")
+
+    # ---- tick ------------------------------------------------------------
+
+    def tick(self, now: int) -> bool:
+        if now < self.busy_until:
+            return False
+        if self._replay is not None:
+            # Spurious time-wake while asleep-with-stalls: the walk would
+            # fresh-walk this cycle (its recorded lsu bound has passed), so
+            # flush the replay up to — excluding — this cycle and let the
+            # fresh pass below emit this cycle's stalls.
+            self._flush_replay(False)
+        warps = self.warps
+        if not warps:
+            self._asleep = True
+            return False
+        self._asleep = False
+        if self._dirty:
+            self._refresh_dirty()
+        if self.verify_columns:
+            self._assert_columns()
+        sm = self.sm
+        ready = self._ready_base
+        gate = self._lsu_gate
+        if gate and now < sm.lsu_free:
+            ready &= ~gate
+        if not ready:
+            return self._block(now)
+        n = len(warps)
+        rot = self._rotation % n
+        if rot:
+            rmask = ((ready >> rot) | (ready << (n - rot))) & ((1 << n) - 1)
+        else:
+            rmask = ready
+        first = (rmask & -rmask).bit_length() - 1
+        if first and (self._stall_pred | self._stall_norec
+                      | self._stall_fill):
+            self._emit_prefix_stalls(rot, first, n)
+        pos = first + rot
+        if pos >= n:
+            pos -= n
+        warp = warps[pos]
+        is_ctx = isinstance(warp, WarpContext)
+        if is_ctx:
+            pc0 = warp.pc
+            decoded0 = warp.code[pc0]
+            if decoded0.deq_token is None:
+                # Fast path: the readiness columns already assert every
+                # try_issue gate (done/barrier/scoreboard/LSU; extra_ready
+                # has no overrides), so issue directly instead of
+                # re-deriving them.  DAC dequeues keep the full path —
+                # their gating and issue are interleaved.
+                interval = sm.issue(warp, decoded0, now)
+            else:
+                interval = sm.try_issue(warp, now, self)
+        else:
+            pc0 = -1
+            interval = sm.try_issue(warp, now, self)
+        if not interval:
+            raise RuntimeError(
+                f"batched readiness inconsistency: sm{sm.index} scheduler "
+                f"{self.index} selected position {pos} as ready but "
+                f"try_issue declined (kernel "
+                f"{getattr(getattr(warp, 'launch', None), 'kernel', None)})")
+        # Rotation advance — byte-for-byte the walk's rule (fresh len: the
+        # issue may have retired warps; stale position: captured before).
+        if self.policy == "two_level":
+            self._rotation = (pos + 1) % max(1, len(self.warps))
+        else:
+            self._rotation = (self._rotation + 1) % max(1, len(self.warps))
+        busy = now + interval
+        if warp.sched is self:
+            # Still owned (not retired by an exit): its pc/scoreboard/queue
+            # state changed with the issue.  For the fast-path common case
+            # (plain op issued, plain op next) the base classification is
+            # computed inline instead of round-tripping through the dirty
+            # set — classify_warp falls back to exactly these rules when
+            # the next op is not a DAC dequeue (and the warp's stall bits
+            # are already clear: a stall code needs a dequeue op, which
+            # takes the full path and dirties normally).
+            done = warp.done
+            if is_ctx and decoded0.deq_token is None:
+                nd = None if done or warp.at_barrier else warp.code[warp.pc]
+                if nd is not None and nd.deq_token is None:
+                    bit = 1 << self._pos[warp]
+                    pending = warp.pending
+                    for name in nd.scoreboard:
+                        if pending.get(name, 0):
+                            self._ready_base &= ~bit
+                            self._lsu_gate &= ~bit
+                            break
+                    else:
+                        self._ready_base |= bit
+                        if nd.needs_lsu:
+                            self._lsu_gate |= bit
+                        else:
+                            self._lsu_gate &= ~bit
+                else:
+                    if nd is None:
+                        bit = 1 << self._pos[warp]
+                        self._ready_base &= ~bit
+                        self._lsu_gate &= ~bit
+                    else:
+                        self._dirty.add(warp)
+            else:
+                self._dirty.add(warp)
+            if is_ctx and sm.chain_ok and not done and not warp.at_barrier:
+                # Chain eligibility, most-selective test first: on a
+                # scheduler with >1 live warp (the common case) the loop
+                # fails within a couple of loads.
+                for w in warps:
+                    if w is not warp and not w.done:
+                        break
+                else:
+                    if (not sm.gpu._pending_blocks
+                            and now + _CHAIN_WALL < sm.config.max_cycles
+                            and _chainable(warp.code[warp.pc])):
+                        busy = self._chain(warp, now, interval,
+                                           warp.code[pc0])
+                        self._dirty.add(warp)
+        self.busy_until = busy
+        return True
+
+    def _emit_prefix_stalls(self, rot: int, first: int, n: int) -> None:
+        """The walk's note_stall calls for blocked stall-coded warps it
+        encountered before reaching the issuer."""
+        stats = self.sm.stats
+        lowmask = (1 << first) - 1
+        full = (1 << n) - 1
+        for key, mask in (("dac.stall_pred_record", self._stall_pred),
+                          ("dac.stall_no_record", self._stall_norec),
+                          ("dac.stall_fill", self._stall_fill)):
+            if not mask:
+                continue
+            if rot:
+                rmask = ((mask >> rot) | (mask << (n - rot))) & full
+            else:
+                rmask = mask
+            count = (rmask & lowmask).bit_count()
+            if count:
+                stats.add(key, count)
+
+    def _block(self, now: int) -> bool:
+        """Nothing can issue: emit this cycle's stall counters, record the
+        lazy replay, and sleep (bounded by lsu_free when that is the only
+        gate, exactly like the walk's ``_sleep_wake``)."""
+        sm = self.sm
+        engine = self._engine
+        pairs = []
+        for key, mask in (("dac.stall_pred_record", self._stall_pred),
+                          ("dac.stall_no_record", self._stall_norec),
+                          ("dac.stall_fill", self._stall_fill)):
+            if mask:
+                count = mask.bit_count()
+                sm.stats.add(key, count)
+                pairs.append((key, count))
+        self._asleep = True
+        if pairs:
+            self._replay = tuple(pairs)
+            self._replay_iter = engine.exec_iter
+        else:
+            self._replay = None
+        if self._ready_base & self._lsu_gate:
+            # LSU-gated warps become ready by time passing alone: bound the
+            # sleep.  (A stale bound just causes a harmless early re-walk,
+            # same as the walk engine.)
+            engine.wake_at(sm.lsu_free, self._rank)
+        return False
+
+    # ---- chain execution -------------------------------------------------
+
+    def _chain(self, warp, now: int, interval: int, decoded0) -> int:
+        """Issue the warp's run of dependence-satisfiable ALU ops at their
+        exact future boundary times; returns the final busy_until.
+
+        Eligibility was checked by the caller: every other warp on this
+        scheduler is done and no CTA can arrive, so nothing else can claim
+        an issue slot at any boundary; excluded op classes keep the SIMT
+        stack, LSU, and queues untouched; scoreboard waits are computable
+        because in-chain producers have static ALU/SFU latencies and any
+        reference to an out-of-chain outstanding register stops the chain
+        (the walk would wait on an event whose time we don't model here).
+
+        Executed-cycle parity: for each boundary ``b`` the walk executes
+        ``b`` (the issue), ``b+1`` (post-issue), and ``b+interval`` (its
+        busy-until candidate); those are pushed as forced entries so
+        machine-wide skipped-cycle accounting (DAC stall replay on *other*
+        schedulers) sees the identical executed-cycle set."""
+        sm = self.sm
+        cfg = sm.config
+        engine = self._engine
+        code = warp.code
+        pending = warp.pending
+        local_rel: dict = {}
+        acquires: dict = {}
+        # Seed with the just-issued op when it was itself a plain ALU op
+        # (its release time is static); any other op class left its dst
+        # outstanding with an event-determined release, which the
+        # acquire-parity rule below treats as chain-stopping.
+        if _chainable(decoded0) and decoded0.dst_name is not None:
+            lat = cfg.sfu_latency if decoded0.is_sfu else cfg.alu_latency
+            local_rel[decoded0.dst_name] = now + lat
+            acquires[decoded0.dst_name] = 1
+        b, iv = now, interval
+        extra = 0
+        note_forced = engine.note_forced
+        while extra < _CHAIN_CAP:
+            decoded = code[warp.pc]
+            if not _chainable(decoded):
+                break
+            t_dep = 0
+            ok = True
+            for name in decoded.scoreboard:
+                have = pending.get(name, 0)
+                if have:
+                    if have != acquires.get(name, 0):
+                        ok = False     # out-of-chain producer outstanding
+                        break
+                    t = local_rel[name]
+                    if t > t_dep:
+                        t_dep = t
+            if not ok:
+                break
+            nb = b + iv
+            if t_dep > nb:
+                nb = t_dep
+            niv = sm.issue(warp, decoded, nb)
+            note_forced(nb)
+            note_forced(nb + 1)
+            note_forced(nb + niv)
+            name = decoded.dst_name
+            lat = cfg.sfu_latency if decoded.is_sfu else cfg.alu_latency
+            local_rel[name] = nb + lat
+            acquires[name] = acquires.get(name, 0) + 1
+            b, iv = nb, niv
+            extra += 1
+        if extra:
+            engine.chain_ops += extra
+            note_forced(now + interval)   # op 0's busy-candidate cycle
+            if self.policy != "two_level":
+                # The walk advances lrr rotation once per issue.
+                self._rotation = (self._rotation + extra) \
+                    % max(1, len(self.warps))
+        return b + iv
+
+
+class BatchedState:
+    """GPU-side engine state: the unit rank order, the awake mask, the
+    global next-wake heaps, and the executed-cycle counter."""
+
+    def __init__(self, gpu):
+        self.gpu = gpu
+        units: list = []
+        for sm in gpu.sms:
+            units.extend(sm.tick_units())
+            sm._engine = self
+        for rank, unit in enumerate(units):
+            unit._rank = rank
+            unit._bit = 1 << rank
+            unit._engine = self
+        self.units = units
+        self.awake = (1 << len(units)) - 1
+        self.unit_wakes: list = []            # (time, rank)
+        self.cand: list = []                  # (time, kind, seq, payload)
+        self._seq = itertools.count()
+        self.exec_iter = 0
+        self.cur_rank = -1
+        self.chain_ops = 0                    # debug counter, not a Stat
+
+    # Candidate producers (validated on pop: lsu_free only ever moves
+    # forward, so the entry for the current value is always present).
+    # Scheduler busy windows need no entries: a busy scheduler keeps its
+    # awake bit, and the blocked-cycle scan reads busy_until directly.
+
+    def note_lsu(self, sm) -> None:
+        heappush(self.cand, (sm.lsu_free, _LSU, next(self._seq), sm))
+
+    def note_forced(self, t) -> None:
+        heappush(self.cand, (t, _FORCED, next(self._seq), None))
+
+    def wake_at(self, t, rank: int) -> None:
+        heappush(self.unit_wakes, (t, rank))
+
+    def flush_replays(self) -> None:
+        """End-of-run / hang flush: the final cycle's ticks already
+        happened, so every pending replay includes the current cycle."""
+        for unit in self.units:
+            if getattr(unit, "_replay", None) is not None:
+                unit._flush_replay(True)
+
+
+def run_batched(gpu, launch):
+    """The batched main loop: tick only awake units (in the walk's exact
+    rank order), and pick the next executed cycle from the event queue plus
+    the validated candidate heap instead of rescanning every scheduler."""
+    from .gpu import RunResult
+
+    if launch.warps_per_block > gpu.config.warps_per_sm:
+        raise ValueError("CTA needs more warp slots than an SM has")
+    gpu._launch = launch
+    gpu._pending_blocks = deque(launch.block_indices())
+    gpu._fill_sms()
+
+    engine = gpu.engine
+    units = engine.units
+    unit_wakes = engine.unit_wakes
+    cand = engine.cand
+    events = gpu.events
+    sms = gpu.sms
+    pending = gpu._pending_blocks
+    max_cycles = gpu.config.max_cycles
+    now = 0
+    idle_streak = 0
+    gpu._last_progress = 0
+    while True:
+        gpu.now = now
+        engine.exec_iter += 1
+        engine.cur_rank = -1
+        while unit_wakes and unit_wakes[0][0] <= now:
+            engine.awake |= 1 << heappop(unit_wakes)[1]
+        events.run_until(now)
+        issued = False
+        # Ascending-rank scan, re-reading the awake mask after every tick:
+        # a unit woken by an *earlier*-rank unit still ticks this cycle
+        # (the walk would reach it later in the same cycle); one woken by a
+        # later-rank unit waits (the walk already passed it — its replay
+        # accounting includes this cycle via the rank comparison).
+        rank = 0
+        awake = engine.awake
+        while True:
+            rest = awake >> rank
+            if not rest:
+                break
+            rank += (rest & -rest).bit_length() - 1
+            unit = units[rank]
+            if now < unit.busy_until:
+                # Skip without calling: a busy scheduler's tick is a pure
+                # False (and it keeps the awake bit so the blocked-cycle
+                # scan below sees its busy_until); a busy expansion unit
+                # reports mid-expansion progress — unless its SM has no
+                # live affine streams, in which case the walk would not
+                # have ticked it at all (DACSM.cycle's gate).
+                if unit._busy_progress:
+                    if unit.sm.affine_execs:
+                        issued = True
+                    else:
+                        unit._asleep = True
+                        engine.awake &= ~(1 << rank)
+            else:
+                engine.cur_rank = rank
+                if unit.tick(now):
+                    issued = True
+                if unit._asleep:
+                    engine.awake &= ~(1 << rank)
+            rank += 1
+            awake = engine.awake
+        if not pending and not any(sm.busy() for sm in sms):
+            break
+        if now >= max_cycles:
+            engine.flush_replays()
+            raise gpu._hang("max_cycles", now)
+        if issued:
+            gpu._last_progress = now
+            now += 1
+            idle_streak = 0
+            continue
+        nxt = events.next_time()
+        if nxt is not None and nxt <= now:
+            nxt = now + 1
+        while cand:
+            t, kind, _seq, obj = cand[0]
+            if t <= now:
+                heappop(cand)
+                continue
+            if kind == _LSU and obj.lsu_free != t:
+                heappop(cand)
+                continue
+            if nxt is None or t < nxt:
+                nxt = t
+            break
+        # Busy-window bounds come from the awake set, not the heap: every
+        # awake unit at a blocked cycle is a busy scheduler (anything else
+        # either issued — no fast-forward — or went to sleep), and the walk
+        # counts its busy_until only while it owns warps.
+        scan = engine.awake
+        while scan:
+            low = scan & -scan
+            scan ^= low
+            unit = units[low.bit_length() - 1]
+            bu = unit.busy_until
+            if bu > now and unit.warps and (nxt is None or bu < nxt):
+                nxt = bu
+        if nxt is None:
+            idle_streak += 1
+            if idle_streak > 4:
+                engine.flush_replays()
+                raise gpu._hang("no_progress", now)
+            now += 1
+            continue
+        idle_streak = 0
+        now = nxt
+
+    # Drain in-flight writes/events so the memory stats are complete
+    # (does not extend the reported cycle count).
+    while len(events):
+        events.run_until(events.next_time())
+    engine.flush_replays()
+
+    gpu.stats.add("cycles", now)
+    return RunResult(cycles=now, stats=gpu.stats, config=gpu.config,
+                     kernel_name=launch.kernel.name)

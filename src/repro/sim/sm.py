@@ -22,6 +22,13 @@ from .warp import WarpContext, make_warp
 class SM:
     """One streaming multiprocessor."""
 
+    # The batched issue engine may replay ``issue()`` at computed future
+    # boundary times to execute a whole ALU dependence chain in one tick
+    # (sim/issue_engine.py).  That replay is only sound when the subclass
+    # does not override the issue path with time- or state-coupled
+    # behaviour; CAE (single-cycle affine issue intervals) opts out.
+    chain_ok = True
+
     def __init__(self, gpu, index: int):
         self.gpu = gpu
         self.index = index
@@ -44,13 +51,19 @@ class SM:
         # Min-heap of free hardware warp slots (list(range(n)) is already
         # heap-ordered); assignment always takes the lowest slot.
         self._free_slots = list(range(self.config.warps_per_sm))
+        sched_cls = Scheduler
+        if gpu.issue_engine == "batched":
+            from .issue_engine import BatchedScheduler as sched_cls
         self.schedulers = [
-            Scheduler(self, i, self.config.scheduler,
+            sched_cls(self, i, self.config.scheduler,
                       self.config.active_warps_per_scheduler,
                       self.config.issue_interval)
             for i in range(self.config.num_schedulers)
         ]
         self.lsu_free = 0
+        # Batched-engine state (set by issue_engine.BatchedState); None on
+        # the walk engine so the lsu_free hook below costs one None check.
+        self._engine = None
 
     # ---- CTA management -------------------------------------------------
 
@@ -77,12 +90,25 @@ class SM:
         """Hook for DAC: start the affine-stream execution for this CTA."""
 
     def _retire_cta(self, cta: CTAState) -> None:
-        for warp in [w for w in self.warps if w.cta is cta]:
-            self.warps.remove(warp)
-            self.schedulers[warp.slot % len(self.schedulers)] \
-                .remove_warp(warp)
+        # Backward swap-pop filter: O(retired) instead of O(N) shifting per
+        # removed warp.  Indices above the cursor are already-kept warps, so
+        # the element swapped down is never one we still have to visit.
+        warps = self.warps
+        num_scheds = len(self.schedulers)
+        for i in range(len(warps) - 1, -1, -1):
+            warp = warps[i]
+            if warp.cta is not cta:
+                continue
+            last = warps.pop()
+            if last is not warp:
+                warps[i] = last
+            self.schedulers[warp.slot % num_scheds].remove_warp(warp)
             heapq.heappush(self._free_slots, warp.slot)
-        self.ctas.remove(cta)
+        ctas = self.ctas
+        i = ctas.index(cta)
+        last = ctas.pop()
+        if last is not cta:
+            ctas[i] = last
         self.on_cta_retired(cta)
         if self.trace_on:
             self.tracer.cta_retire(self.gpu.now, self.index, cta.block_idx)
@@ -103,6 +129,12 @@ class SM:
     def busy(self) -> bool:
         return bool(self.warps)
 
+    def tick_units(self) -> list:
+        """The per-cycle tick units of this SM in intra-cycle rank order
+        (the order :meth:`cycle` invokes them).  The batched GPU loop
+        enumerates these once and wakes them by rank."""
+        return list(self.schedulers)
+
     def wake_all(self) -> None:
         """Clear every scheduler's blocked-walk cache.  Called at the SM-wide
         state changes that can unblock warps on *any* scheduler: a barrier
@@ -110,7 +142,7 @@ class SM:
         scheduler (scoreboard releases, DAC queue pushes); ``lsu_free`` is
         time-bounded by each sleeper's own wake time."""
         for scheduler in self.schedulers:
-            scheduler._asleep = False
+            scheduler.wake()
 
     # ---- issue ------------------------------------------------------------
 
@@ -133,6 +165,22 @@ class SM:
                     now: int) -> bool:
         """Hook: DAC dequeue-readiness checks (paper Fig. 9 ⑨)."""
         return True
+
+    def classify_warp(self, warp) -> tuple[bool, bool, int]:
+        """Pure readiness mirror of :meth:`try_issue` for the batched
+        engine's columns: ``(ready_base, lsu_gated, stall_code)``.
+
+        ``ready_base`` — the warp would issue if any LSU gating is ignored;
+        ``lsu_gated`` — issue additionally requires ``now >= lsu_free``;
+        ``stall_code`` — index into ``issue_engine.STALL_KEYS`` of the
+        per-blocked-cycle stall counter the walk would emit for this warp
+        (0 = none).  Must not mutate any timing state."""
+        if warp.done or warp.at_barrier:
+            return False, False, 0
+        decoded = warp.code[warp.pc]
+        if not warp.scoreboard_ready(decoded):
+            return False, False, 0
+        return True, decoded.needs_lsu, 0
 
     # ---- stall diagnosis (tracing only; must not mutate) -----------------
 
@@ -284,6 +332,8 @@ class SM:
             if not lines:
                 return
             self.lsu_free = now + len(lines)
+            if self._engine is not None:
+                self._engine.note_lsu(self)
             warp.acquire(decoded.dst_name)
             warp.mem_pending += 1
             state = {"remaining": len(lines)}
@@ -307,6 +357,8 @@ class SM:
             self.stats.add("gmem_stores")
             self.stats.add("gmem_store_lines", len(lines))
             self.lsu_free = now + max(1, len(lines))
+            if self._engine is not None:
+                self._engine.note_lsu(self)
             for line in lines:
                 self.l1.write(line, now)
 

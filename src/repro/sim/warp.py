@@ -96,10 +96,15 @@ class WarpContext:
     def release(self, name: str) -> None:
         self.pending[name] -= 1
         # A scoreboard release is a wake condition: the owning scheduler may
-        # have cached this warp as blocked.
+        # have cached this warp as blocked.  The batched engine additionally
+        # needs the warp marked dirty (``_dirty`` is None on the walk
+        # engine, so the hot path stays two attribute ops there).
         sched = self.sched
         if sched is not None:
-            sched._asleep = False
+            if sched._dirty is None:
+                sched._asleep = False
+            else:
+                sched.release_warp(self)
 
     def regs_ready(self, inst) -> bool:
         pending = self.pending

@@ -30,6 +30,10 @@ CONFIG = experiment_config()
 #: required to be bit-identical to the scalar oracle.
 DATAPATHS = ("scalar", "vector")
 
+#: Likewise both issue engines: the batched engine is a pure
+#: reformulation of the walk's timing semantics.
+ENGINES = ("walk", "batched")
+
 
 def _assert_matches_golden(result, name):
     golden = load_golden(name)
@@ -39,12 +43,15 @@ def _assert_matches_golden(result, name):
     assert not diff, "Stats diverged from golden:\n" + "\n".join(diff)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("datapath", DATAPATHS)
 @pytest.mark.parametrize("abbr,technique,scale", GOLDEN_MATRIX,
                          ids=[golden_name(*cell) for cell in GOLDEN_MATRIX])
-def test_matrix_cell_matches_golden(abbr, technique, scale, datapath):
+def test_matrix_cell_matches_golden(abbr, technique, scale, datapath,
+                                    engine):
     result = run_cell(abbr, technique, scale,
-                      CONFIG.with_datapath(datapath))
+                      CONFIG.with_datapath(datapath)
+                      .with_issue_engine(engine))
     _assert_matches_golden(result, golden_name(abbr, technique, scale))
 
 

@@ -1,0 +1,218 @@
+"""Batched issue engine: differential suite against the pinned walk.
+
+The walk engine (sim/scheduler.py + the GPU.run loop) is the timing
+reference; ``issue_engine="batched"`` must be *bit-identical* on cycles
+and every Stats counter — readiness columns, lazy stall replay, chain
+execution, and the next-wake heap are all pure reformulations of the same
+semantics.  Any divergence found here is a bug in the batched engine, by
+definition.
+
+Four angles:
+
+1. 100-seed differential fuzz x 4 techniques x both datapaths.
+2. A hypothesis property run with ``verify_columns`` enabled: after every
+   dirty refresh the incrementally-maintained readiness columns must equal
+   a from-scratch reclassification of every owned warp (this exercises the
+   wake-hook sequences the fuzz kernels generate: releases, barrier exits,
+   queue pushes, early-fill completions, CTA retires).
+3. Warp iteration-order regression: swap-pop removal permutes the walk
+   order; Stats must not care (guards the O(1) retire optimization).
+4. Chain execution: cells known to trigger chains stay bit-identical, and
+   the observability layers (tracer/faults/checkers) transparently pin the
+   walk engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig
+from repro.harness.bench import GOLDEN_MATRIX, run_cell
+from repro.harness.runner import TECHNIQUES, experiment_config, \
+    simulate_launch
+from repro.sim.gpu import GPU
+from repro.sim.issue_engine import BatchedScheduler
+from repro.sim.scheduler import Scheduler
+from repro.workloads import get
+from repro.workloads.fuzz import build_fuzz_launch
+
+SEEDS = range(100)
+DATAPATHS = ("scalar", "vector")
+
+
+def _stats_diff(a: dict, b: dict) -> list[str]:
+    return [f"{k}: walk={a.get(k)!r} batched={b.get(k)!r}"
+            for k in sorted(set(a) | set(b)) if a.get(k) != b.get(k)]
+
+
+def _assert_same(walk, batched, label: str) -> None:
+    assert walk.cycles == batched.cycles, (
+        f"{label}: cycles diverged (walk {walk.cycles}, "
+        f"batched {batched.cycles})")
+    diff = _stats_diff(walk.stats.as_dict(), batched.stats.as_dict())
+    assert not diff, f"{label}: Stats diverged:\n" + "\n".join(diff)
+
+
+# ---------------------------------------------------------------------------
+# 1. differential fuzz
+
+@pytest.mark.parametrize("datapath", DATAPATHS)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_differential_fuzz(technique, datapath):
+    walk_cfg = GPUConfig(num_sms=1, datapath=datapath)
+    batched_cfg = GPUConfig(num_sms=1, datapath=datapath,
+                            issue_engine="batched")
+    for seed in SEEDS:
+        walk = simulate_launch(build_fuzz_launch(seed), technique, walk_cfg)
+        batched = simulate_launch(build_fuzz_launch(seed), technique,
+                                  batched_cfg)
+        _assert_same(walk, batched,
+                     f"seed {seed} {technique}/{datapath}")
+
+
+def test_differential_golden_matrix():
+    """Every golden-matrix cell, both engines (the goldens themselves are
+    separately parametrized over the knob in test_golden_stats)."""
+    for abbr, technique, scale in GOLDEN_MATRIX:
+        walk = run_cell(abbr, technique, scale,
+                        experiment_config().with_issue_engine("walk"))
+        batched = run_cell(abbr, technique, scale,
+                           experiment_config().with_issue_engine("batched"))
+        _assert_same(walk, batched, f"{abbr}/{technique}/{scale}")
+
+
+# ---------------------------------------------------------------------------
+# 2. incremental columns == from-scratch recomputation
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=99999),
+       technique=st.sampled_from(TECHNIQUES))
+def test_columns_match_fresh_classification(seed, technique):
+    """With ``verify_columns`` on, every batched tick asserts that the
+    incrementally-maintained readiness columns equal a from-scratch
+    ``classify_warp`` of every owned warp — across whatever wake-hook
+    sequence the fuzzed kernel produces."""
+    cfg = GPUConfig(num_sms=1, issue_engine="batched")
+    BatchedScheduler.verify_columns = True
+    try:
+        batched = simulate_launch(build_fuzz_launch(seed), technique, cfg)
+    finally:
+        BatchedScheduler.verify_columns = False
+    walk = simulate_launch(build_fuzz_launch(seed), technique,
+                           GPUConfig(num_sms=1))
+    _assert_same(walk, batched, f"seed {seed} {technique} (verified)")
+
+
+def test_readiness_columns_view():
+    """The numpy view of the columns agrees with a live classification."""
+    cfg = experiment_config().with_issue_engine("batched") \
+        .with_technique("baseline")
+    gpu = GPU(cfg)
+    launch = get("CP").launch("tiny")
+    gpu.run(launch)
+    for sm in gpu.sms:
+        for sched in sm.schedulers:
+            cols = sched.readiness_columns()
+            assert set(cols) == {"ready_base", "lsu_gate", "stall_pred",
+                                 "stall_norec", "stall_fill"}
+            for vec in cols.values():
+                assert vec.dtype == bool
+                assert len(vec) == len(sched.warps)
+
+
+# ---------------------------------------------------------------------------
+# 3. warp iteration-order invariance
+
+def _order_preserving_remove(self, warp):
+    """The pre-swap-pop removal: O(N) but keeps iteration order."""
+    self.warps.remove(warp)
+    warp.sched = None
+    self._asleep = False
+
+
+def test_stats_invariant_under_removal_order():
+    """Swap-pop removal permutes the scheduler's walk order relative to
+    the old ``list.remove``; the timing semantics must not depend on it
+    (the rotation owns fairness, not list positions)."""
+    cfg = GPUConfig(num_sms=1)
+    for technique in TECHNIQUES:
+        for seed in range(25):
+            swap = simulate_launch(build_fuzz_launch(seed), technique, cfg)
+            original = Scheduler.remove_warp
+            Scheduler.remove_warp = _order_preserving_remove
+            try:
+                kept = simulate_launch(build_fuzz_launch(seed), technique,
+                                       cfg)
+            finally:
+                Scheduler.remove_warp = original
+            _assert_same(swap, kept, f"seed {seed} {technique} order")
+
+
+def test_stats_invariant_under_removal_order_golden_cell():
+    walk_cfg = experiment_config()
+    swap = run_cell("SG", "dac", "tiny", walk_cfg)
+    original = Scheduler.remove_warp
+    Scheduler.remove_warp = _order_preserving_remove
+    try:
+        kept = run_cell("SG", "dac", "tiny", walk_cfg)
+    finally:
+        Scheduler.remove_warp = original
+    _assert_same(swap, kept, "SG/dac/tiny order")
+
+
+# ---------------------------------------------------------------------------
+# 4. chain execution + observability pinning
+
+def test_chain_execution_fires_and_stays_identical():
+    cfg = experiment_config().with_technique("baseline")
+    launch = get("CP").launch("tiny")
+    gpu = GPU(cfg.with_issue_engine("batched"))
+    batched = gpu.run(launch)
+    assert gpu.engine is not None
+    assert gpu.engine.chain_ops > 0, \
+        "CP/tiny is expected to trigger chain execution"
+    walk = run_cell("CP", "baseline", "tiny", cfg)
+    _assert_same(walk, batched, "CP/baseline/tiny chain")
+
+
+def test_chain_disabled_for_cae():
+    """CAE's issue interval depends on runtime affine-eligibility, so its
+    SM opts out of chain replay (``chain_ok = False``)."""
+    from repro.baselines.cae import CAESM
+    assert CAESM.chain_ok is False
+    cfg = experiment_config().with_technique("cae") \
+        .with_issue_engine("batched")
+    gpu = GPU(cfg)
+    gpu.run(get("CP").launch("tiny"))
+    assert gpu.engine.chain_ops == 0
+
+
+def test_tracer_pins_walk_engine():
+    """Tracing (and faults/checkers) downgrade to the walk engine — their
+    contracts are defined per executed scheduler walk."""
+    from repro.trace import Tracer
+    cfg = experiment_config().with_technique("baseline") \
+        .with_issue_engine("batched")
+    gpu = GPU(cfg, tracer=Tracer())
+    assert gpu.issue_engine == "walk"
+    assert gpu.engine is None
+
+
+def test_faults_pin_walk_engine():
+    from repro.faults import FaultInjector, FaultPlan, FaultSpec
+    cfg = experiment_config().with_technique("baseline") \
+        .with_issue_engine("batched")
+    plan = FaultPlan(specs=(FaultSpec("dram_delay", 0, 8),))
+    gpu = GPU(cfg, faults=FaultInjector(plan))
+    assert gpu.issue_engine == "walk"
+    assert gpu.engine is None
+
+
+def test_traced_run_unaffected_by_batched_config():
+    """A traced run under issue_engine="batched" produces exactly the
+    traced walk's Stats (the downgrade is transparent)."""
+    cfg = experiment_config()
+    walk = run_cell("SG", "dac", "tiny", cfg, trace=True)
+    batched = run_cell("SG", "dac", "tiny",
+                       cfg.with_issue_engine("batched"), trace=True)
+    _assert_same(walk, batched, "SG/dac/tiny traced downgrade")
